@@ -1,0 +1,91 @@
+// Command cgrabench regenerates the paper's evaluation: Figs 2, 5, 6, 7,
+// 8, 9, 10, 11 and Table II, printed as text tables and ASCII charts.
+//
+// Usage:
+//
+//	cgrabench             # the whole evaluation
+//	cgrabench -fig 6      # one figure (2, 5, 6, 7, 8, 9, 10, 11)
+//	cgrabench -table 2    # Table II
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate one figure (2, 5, 6, 7, 8, 9, 10, 11); 0 = all")
+	table := flag.Int("table", 0, "regenerate one table (2); 0 = all")
+	flag.Parse()
+
+	r := exp.NewRunner()
+	if err := run(r, *fig, *table); err != nil {
+		fmt.Fprintln(os.Stderr, "cgrabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r *exp.Runner, fig, table int) error {
+	if fig == 0 && table == 0 {
+		out, err := r.RenderAll()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	}
+	if table == 2 {
+		t, err := r.RunTableII()
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Render())
+		return nil
+	}
+	switch fig {
+	case 2:
+		f, err := r.RunFig2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+	case 5:
+		f, err := r.RunFig5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+	case 6, 7, 8:
+		flow := map[int]core.Flow{6: core.FlowACMAP, 7: core.FlowECMAP, 8: core.FlowCAB}[fig]
+		f, err := r.RunLatencyFig(flow)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+	case 9:
+		f, err := r.RunFig9()
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+	case 10:
+		f, err := r.RunFig10()
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+	case 11:
+		f, err := r.RunFig11()
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Render())
+	default:
+		return fmt.Errorf("unknown figure %d", fig)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Command cgramap maps one benchmark kernel onto a CGRA configuration
+// with a selected mapping flow and reports the mapping statistics: per-
+// tile context-memory occupancy, instruction mix, and compile time.
+//
+// Usage:
+//
+//	cgramap -kernel MatM -config HET1 -flow cab [-listing] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+)
+
+func main() {
+	kernel := flag.String("kernel", "FIR", "kernel name: "+strings.Join(kernels.Names(), ", "))
+	config := flag.String("config", "HOM64", "CGRA configuration: HOM64, HOM32, HET1, HET2")
+	flow := flag.String("flow", "cab", "mapping flow: basic, acmap, ecmap, cab")
+	listing := flag.Bool("listing", false, "print the per-tile context disassembly")
+	dot := flag.Bool("dot", false, "print the kernel CDFG in Graphviz DOT form and exit")
+	seed := flag.Int64("seed", 1, "stochastic pruning seed")
+	flag.Parse()
+
+	if err := run(*kernel, *config, *flow, *listing, *dot, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "cgramap:", err)
+		os.Exit(1)
+	}
+}
+
+func parseFlow(s string) (core.Flow, error) {
+	switch strings.ToLower(s) {
+	case "basic":
+		return core.FlowBasic, nil
+	case "acmap":
+		return core.FlowACMAP, nil
+	case "ecmap":
+		return core.FlowECMAP, nil
+	case "cab", "full", "aware":
+		return core.FlowCAB, nil
+	}
+	return 0, fmt.Errorf("unknown flow %q", s)
+}
+
+func run(kernel, config, flowName string, listing, dot bool, seed int64) error {
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		return err
+	}
+	g := k.Build()
+	if dot {
+		fmt.Println(cdfg.Dot(g))
+		return nil
+	}
+	fl, err := parseFlow(flowName)
+	if err != nil {
+		return err
+	}
+	grid, err := arch.NewGrid(arch.ConfigName(strings.ToUpper(config)))
+	if err != nil {
+		return err
+	}
+	opt := core.DefaultOptions(fl)
+	opt.Seed = seed
+	m, err := core.Map(g, grid, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mapped %s onto %s with %s in %s\n", kernel, grid.Name, fl, m.Stats.CompileTime.Round(1_000_000))
+	fmt.Printf("ops %d, moves %d, pnops %d; partials explored %d (ACMAP pruned %d, ECMAP pruned %d, stochastic %d)\n",
+		m.TotalOps(), m.TotalMoves(), m.TotalPnops(),
+		m.Stats.Partials, m.Stats.PrunedACMAP, m.Stats.PrunedECMAP, m.Stats.PrunedStochastic)
+	caps := make([]int, grid.NumTiles())
+	for i := range caps {
+		caps[i] = grid.Tile(arch.TileID(i)).CMWords
+	}
+	fmt.Print(trace.Utilization("context-memory occupancy:", m.TileWords(), caps))
+	if ok, t := m.FitsMemory(); !ok {
+		fmt.Printf("WARNING: tile %d overflows its context memory — this mapping cannot run on %s\n", t+1, grid.Name)
+	}
+	for s, h := range m.SymHomes {
+		fmt.Printf("symbol %-8s -> tile %d r%d\n", s, h.Tile+1, h.Reg)
+	}
+	if listing {
+		prog, err := asm.Assemble(m)
+		if err != nil {
+			return err
+		}
+		fmt.Print(asm.Listing(prog))
+	}
+	return nil
+}

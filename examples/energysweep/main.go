@@ -1,0 +1,48 @@
+// Energy sweep: a miniature Table II for one kernel — energy and latency
+// of every (flow, configuration) pair that maps, next to the or1k CPU.
+// Run with a kernel name as the only argument (default FFT).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/trace"
+)
+
+func main() {
+	kernel := "FFT"
+	if len(os.Args) > 1 {
+		kernel = os.Args[1]
+	}
+	r := exp.NewRunner()
+	cc, err := r.CPU(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on the or1k CPU: %d cycles, %.4f µJ\n\n", kernel, cc.Cycles, cc.Energy.Total())
+
+	tbl := trace.NewTable("CGRA energy/latency sweep — "+kernel,
+		"flow", "config", "cycles", "energy µJ", "vs CPU energy")
+	for _, flow := range core.Flows() {
+		configs := arch.ConfigNames()
+		if flow == core.FlowBasic {
+			configs = []arch.ConfigName{arch.HOM64}
+		}
+		for _, cfg := range configs {
+			c := r.Run(kernel, flow, cfg)
+			if !c.OK {
+				tbl.Add(flow.String(), cfg, "no mapping", "-", "-")
+				continue
+			}
+			tbl.Add(flow.String(), cfg, c.Cycles,
+				fmt.Sprintf("%.4f", c.Energy.Total()),
+				fmt.Sprintf("%.1fx", cc.Energy.Total()/c.Energy.Total()))
+		}
+	}
+	fmt.Print(tbl.String())
+}

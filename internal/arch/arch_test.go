@@ -1,0 +1,164 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigsTableI(t *testing.T) {
+	// Totals straight from the paper's Table I.
+	wantTotal := map[ConfigName]int{HOM64: 1024, HOM32: 512, HET1: 576, HET2: 512}
+	for _, name := range ConfigNames() {
+		g := MustGrid(name)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := g.TotalCM(); got != wantTotal[name] {
+			t.Errorf("%s total CM = %d, want %d", name, got, wantTotal[name])
+		}
+		if n := len(g.LSUTiles()); n != 8 {
+			t.Errorf("%s has %d LSU tiles, want 8", name, n)
+		}
+		for _, id := range g.LSUTiles() {
+			if g.Tile(id).Row >= 2 {
+				t.Errorf("%s: LSU tile %d not in first two rows", name, id+1)
+			}
+		}
+	}
+	// Per-tile spot checks of the heterogeneous layouts (1-based numbers).
+	het1 := MustGrid(HET1)
+	for num, want := range map[int]int{1: 64, 4: 64, 5: 32, 8: 32, 9: 16, 12: 16, 13: 32, 16: 32} {
+		if got := het1.Tile(TileID(num - 1)).CMWords; got != want {
+			t.Errorf("HET1 tile %d CM = %d, want %d", num, got, want)
+		}
+	}
+	het2 := MustGrid(HET2)
+	for num, want := range map[int]int{1: 64, 5: 32, 9: 16, 13: 16, 16: 16} {
+		if got := het2.Tile(TileID(num - 1)).CMWords; got != want {
+			t.Errorf("HET2 tile %d CM = %d, want %d", num, got, want)
+		}
+	}
+	if _, err := NewGrid("NOPE"); err == nil {
+		t.Error("unknown config should fail")
+	}
+}
+
+func TestTorusNeighbors(t *testing.T) {
+	g := MustGrid(HOM64)
+	// Tile 1 (0,0): N wraps to (3,0)=tile 13, S=(1,0)=5, W wraps to
+	// (0,3)=4, E=(0,1)=2.
+	nb := g.Neighbors(0)
+	want := []TileID{12, 4, 3, 1}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v", nb, want)
+		}
+	}
+	for tID := 0; tID < g.NumTiles(); tID++ {
+		seen := map[TileID]bool{}
+		for _, n := range g.Neighbors(TileID(tID)) {
+			if n == TileID(tID) {
+				t.Fatalf("tile %d is its own neighbor", tID)
+			}
+			if seen[n] {
+				t.Fatalf("tile %d has duplicate neighbor %d", tID, n)
+			}
+			seen[n] = true
+			if !g.Adjacent(n, TileID(tID)) {
+				t.Fatalf("adjacency not symmetric between %d and %d", tID, n)
+			}
+		}
+	}
+}
+
+func TestTorusDistanceAndPathProperties(t *testing.T) {
+	g := MustGrid(HOM64)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		a := TileID(rng.Intn(16))
+		b := TileID(rng.Intn(16))
+		d := g.Distance(a, b)
+		if d != g.Distance(b, a) {
+			t.Fatalf("distance not symmetric: %d vs %d", d, g.Distance(b, a))
+		}
+		if (d == 0) != (a == b) {
+			t.Fatalf("distance zero iff same tile")
+		}
+		if d > 4 { // 4x4 torus diameter is 2+2
+			t.Fatalf("distance %d exceeds torus diameter", d)
+		}
+		path := g.Path(a, b)
+		if len(path) != d {
+			t.Fatalf("path length %d != distance %d (a=%d b=%d)", len(path), d, a, b)
+		}
+		prev := a
+		for _, h := range path {
+			if !g.Adjacent(prev, h) {
+				t.Fatalf("path hop %d-%d not adjacent", prev, h)
+			}
+			prev = h
+		}
+		if d > 0 && path[len(path)-1] != b {
+			t.Fatalf("path does not end at target")
+		}
+	}
+}
+
+func TestTilesByDistance(t *testing.T) {
+	g := MustGrid(HOM64)
+	order := g.TilesByDistance(5)
+	if order[0] != 5 {
+		t.Fatalf("closest tile should be itself: %v", order)
+	}
+	if len(order) != 16 {
+		t.Fatalf("order covers %d tiles", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if g.Distance(5, order[i]) < g.Distance(5, order[i-1]) {
+			t.Fatalf("order not sorted by distance at %d", i)
+		}
+	}
+}
+
+func TestCustomGridValidation(t *testing.T) {
+	var cm [16]int
+	for i := range cm {
+		cm[i] = 8
+	}
+	g, err := CustomGrid("tiny", cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalCM() != 128 {
+		t.Errorf("total = %d", g.TotalCM())
+	}
+	cm[3] = 0
+	if _, err := CustomGrid("bad", cm); err == nil {
+		t.Error("zero-sized CM should fail validation")
+	}
+}
+
+func TestGridValidateErrors(t *testing.T) {
+	g := MustGrid(HOM64)
+	g.RRFSize = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero RRF should fail")
+	}
+	g = MustGrid(HOM64)
+	g.MemPorts = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero ports should fail")
+	}
+	g = MustGrid(HOM64)
+	for i := range g.Tiles {
+		g.Tiles[i].HasLSU = false
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("no LSU tiles should fail")
+	}
+	g = MustGrid(HOM64)
+	g.Tiles = g.Tiles[:10]
+	if err := g.Validate(); err == nil {
+		t.Error("wrong tile count should fail")
+	}
+}

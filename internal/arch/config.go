@@ -1,0 +1,117 @@
+package arch
+
+import "fmt"
+
+// ConfigName names one of the paper's context-memory configurations
+// (Table I) of the 4×4 CGRA.
+type ConfigName string
+
+// The four evaluated configurations. Tile numbers below are the paper's
+// 1-based numbers; tiles 1–8 (rows 0 and 1) hold the load/store units.
+//
+//	HOM64: all 16 tiles have 64-word CMs (1024 words total).
+//	HOM32: all 16 tiles have 32-word CMs (512 words total).
+//	HET1:  tiles 1–4 have CM 64; tiles 5–8 and 13–16 have CM 32;
+//	       tiles 9–12 have CM 16 (576 words total).
+//	HET2:  tiles 1–4 have CM 64; tiles 5–8 have CM 32; tiles 9–16 have
+//	       CM 16 (512 words total).
+const (
+	HOM64 ConfigName = "HOM64"
+	HOM32 ConfigName = "HOM32"
+	HET1  ConfigName = "HET1"
+	HET2  ConfigName = "HET2"
+)
+
+// ConfigNames lists the paper's configurations in presentation order.
+func ConfigNames() []ConfigName { return []ConfigName{HOM64, HOM32, HET1, HET2} }
+
+// Default microarchitecture parameters shared by all configurations.
+const (
+	defaultRows     = 4
+	defaultCols     = 4
+	defaultRRFSize  = 8
+	defaultMemPorts = 4
+	defaultMemBanks = 8
+	lsuRows         = 2 // rows 0 and 1, i.e. tiles 1..8
+)
+
+// NewGrid builds the named 4×4 configuration from Table I.
+func NewGrid(name ConfigName) (*Grid, error) {
+	cm, err := cmLayout(name)
+	if err != nil {
+		return nil, err
+	}
+	return buildGrid(string(name), cm), nil
+}
+
+// MustGrid is NewGrid for known-valid names; it panics otherwise.
+func MustGrid(name ConfigName) *Grid {
+	g, err := NewGrid(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// cmLayout returns the per-tile CM words (index = 0-based tile id).
+func cmLayout(name ConfigName) ([16]int, error) {
+	var cm [16]int
+	set := func(fromNum, toNum, words int) {
+		for n := fromNum; n <= toNum; n++ {
+			cm[n-1] = words
+		}
+	}
+	switch name {
+	case HOM64:
+		set(1, 16, 64)
+	case HOM32:
+		set(1, 16, 32)
+	case HET1:
+		set(1, 4, 64)
+		set(5, 8, 32)
+		set(9, 12, 16)
+		set(13, 16, 32)
+	case HET2:
+		set(1, 4, 64)
+		set(5, 8, 32)
+		set(9, 16, 16)
+	default:
+		return cm, fmt.Errorf("arch: unknown configuration %q", name)
+	}
+	return cm, nil
+}
+
+func buildGrid(name string, cm [16]int) *Grid {
+	g := &Grid{
+		Name:     name,
+		Rows:     defaultRows,
+		Cols:     defaultCols,
+		RRFSize:  defaultRRFSize,
+		MemPorts: defaultMemPorts,
+		MemBanks: defaultMemBanks,
+	}
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			id := TileID(r*g.Cols + c)
+			g.Tiles = append(g.Tiles, Tile{
+				ID:      id,
+				Row:     r,
+				Col:     c,
+				HasLSU:  r < lsuRows,
+				CMWords: cm[id],
+			})
+		}
+	}
+	return g
+}
+
+// CustomGrid builds a 4×4 grid with an arbitrary per-tile CM layout
+// (1-based tile numbers mapped row-major, like Table I). It is the entry
+// point for exploring configurations beyond the paper's four.
+func CustomGrid(name string, cmWords [16]int) (*Grid, error) {
+	g := buildGrid(name, cmWords)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,133 @@
+package arch
+
+import "fmt"
+
+// TEDG is the time-extended directed graph of the paper's §III-A: each
+// node is a (resource, cycle) pair, where a resource is a tile's
+// functional unit or one of its register-file entries, and every edge
+// connects cycle t to cycle t+1 along a datapath the hardware provides:
+//
+//   - FU(x) → FU(x):        the output register holds the value;
+//   - FU(x) → FU(neighbor): the torus operand network;
+//   - FU(x) → RF(x, r):     a writeback;
+//   - RF(x, r) → FU(x):     a register read;
+//   - RF(x, r) → RF(x, r):  register retention.
+//
+// The mapper works on an implicit TEDG for efficiency; this explicit form
+// exists for formal queries ("can a value travel from here to there in k
+// cycles?") and to validate the implicit routing rules in tests.
+type TEDG struct {
+	grid  *Grid
+	depth int
+}
+
+// TEDGNode is one (resource, cycle) vertex.
+type TEDGNode struct {
+	Tile  TileID
+	Reg   int // -1 = the tile's functional unit, otherwise an RF entry
+	Cycle int
+}
+
+// FUNode returns the functional-unit vertex of a tile at a cycle.
+func FUNode(t TileID, cycle int) TEDGNode { return TEDGNode{Tile: t, Reg: -1, Cycle: cycle} }
+
+// RFNode returns a register-file vertex.
+func RFNode(t TileID, reg, cycle int) TEDGNode { return TEDGNode{Tile: t, Reg: reg, Cycle: cycle} }
+
+func (n TEDGNode) String() string {
+	if n.Reg < 0 {
+		return fmt.Sprintf("FU(t%d)@%d", n.Tile+1, n.Cycle)
+	}
+	return fmt.Sprintf("RF(t%d,r%d)@%d", n.Tile+1, n.Reg, n.Cycle)
+}
+
+// NewTEDG creates the time-extended view of a grid over depth cycles.
+func NewTEDG(g *Grid, depth int) *TEDG {
+	return &TEDG{grid: g, depth: depth}
+}
+
+// Depth returns the number of modeled cycles.
+func (te *TEDG) Depth() int { return te.depth }
+
+// valid reports whether the node is inside the graph.
+func (te *TEDG) valid(n TEDGNode) bool {
+	if n.Cycle < 0 || n.Cycle >= te.depth {
+		return false
+	}
+	if int(n.Tile) < 0 || int(n.Tile) >= te.grid.NumTiles() {
+		return false
+	}
+	return n.Reg >= -1 && n.Reg < te.grid.RRFSize
+}
+
+// Succs enumerates the datapath successors of a node (at cycle+1).
+func (te *TEDG) Succs(n TEDGNode) []TEDGNode {
+	if !te.valid(n) || n.Cycle+1 >= te.depth {
+		return nil
+	}
+	c := n.Cycle + 1
+	if n.Reg >= 0 {
+		// Register: retention plus a local read.
+		return []TEDGNode{RFNode(n.Tile, n.Reg, c), FUNode(n.Tile, c)}
+	}
+	// Functional unit: output retention, operand network, writebacks.
+	succs := []TEDGNode{FUNode(n.Tile, c)}
+	for _, nb := range te.grid.Neighbors(n.Tile) {
+		succs = append(succs, FUNode(nb, c))
+	}
+	for r := 0; r < te.grid.RRFSize; r++ {
+		succs = append(succs, RFNode(n.Tile, r, c))
+	}
+	return succs
+}
+
+// HasEdge reports whether the hardware provides a direct cycle-to-cycle
+// connection from a to b.
+func (te *TEDG) HasEdge(a, b TEDGNode) bool {
+	if b.Cycle != a.Cycle+1 {
+		return false
+	}
+	for _, s := range te.Succs(a) {
+		if s == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable reports whether a value at node `from` can reach node `to`
+// through the time-extended datapath (BFS over at most depth layers).
+func (te *TEDG) Reachable(from, to TEDGNode) bool {
+	if !te.valid(from) || !te.valid(to) || to.Cycle < from.Cycle {
+		return false
+	}
+	if from == to {
+		return true
+	}
+	frontier := []TEDGNode{from}
+	seen := map[TEDGNode]bool{from: true}
+	for cycle := from.Cycle; cycle < to.Cycle; cycle++ {
+		var next []TEDGNode
+		for _, n := range frontier {
+			for _, s := range te.Succs(n) {
+				if !seen[s] {
+					seen[s] = true
+					next = append(next, s)
+				}
+			}
+		}
+		frontier = next
+	}
+	return seen[to]
+}
+
+// MinLatency returns the fewest cycles for a value produced on tile a's
+// functional unit to be consumable by tile b's functional unit, following
+// the paper's connectivity. On the torus this is exactly the hop distance
+// (plus one local cycle when a == b).
+func (te *TEDG) MinLatency(a, b TileID) int {
+	if a == b {
+		return 1 // via output register or RF, readable next cycle
+	}
+	return te.grid.Distance(a, b)
+}

@@ -1,0 +1,90 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTEDGEdges(t *testing.T) {
+	g := MustGrid(HOM64)
+	te := NewTEDG(g, 8)
+	fu0 := FUNode(0, 0)
+
+	// Output retention and neighbor edges exist.
+	if !te.HasEdge(fu0, FUNode(0, 1)) {
+		t.Error("missing output-retention edge")
+	}
+	for _, nb := range g.Neighbors(0) {
+		if !te.HasEdge(fu0, FUNode(nb, 1)) {
+			t.Errorf("missing operand-network edge to tile %d", nb+1)
+		}
+	}
+	// Writeback and read-back edges.
+	if !te.HasEdge(fu0, RFNode(0, 3, 1)) {
+		t.Error("missing writeback edge")
+	}
+	if !te.HasEdge(RFNode(0, 3, 1), FUNode(0, 2)) {
+		t.Error("missing register-read edge")
+	}
+	if !te.HasEdge(RFNode(0, 3, 1), RFNode(0, 3, 2)) {
+		t.Error("missing register-retention edge")
+	}
+	// No edges to non-neighbors, other tiles' registers, or same-cycle.
+	if te.HasEdge(fu0, FUNode(10, 1)) {
+		t.Error("edge to a non-neighbor")
+	}
+	if te.HasEdge(fu0, RFNode(1, 0, 1)) {
+		t.Error("edge into another tile's register file")
+	}
+	if te.HasEdge(fu0, FUNode(0, 0)) || te.HasEdge(fu0, FUNode(0, 2)) {
+		t.Error("edges must advance exactly one cycle")
+	}
+}
+
+func TestTEDGReachabilityMatchesDistance(t *testing.T) {
+	g := MustGrid(HOM64)
+	const depth = 12
+	te := NewTEDG(g, depth)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		a := TileID(rng.Intn(16))
+		b := TileID(rng.Intn(16))
+		d := g.Distance(a, b)
+		lat := te.MinLatency(a, b)
+		if a == b && lat != 1 {
+			t.Fatalf("self latency %d", lat)
+		}
+		// A value produced at cycle 0 on a reaches b's FU at exactly
+		// cycle max(d,1)... and not earlier.
+		earliest := d
+		if earliest == 0 {
+			earliest = 1
+		}
+		if !te.Reachable(FUNode(a, 0), FUNode(b, earliest)) {
+			t.Fatalf("t%d→t%d should be reachable in %d cycles", a+1, b+1, earliest)
+		}
+		if earliest > 1 && te.Reachable(FUNode(a, 0), FUNode(b, earliest-1)) {
+			t.Fatalf("t%d→t%d reachable too early (%d cycles, distance %d)",
+				a+1, b+1, earliest-1, d)
+		}
+	}
+}
+
+func TestTEDGBounds(t *testing.T) {
+	te := NewTEDG(MustGrid(HOM64), 4)
+	if te.Depth() != 4 {
+		t.Error("depth")
+	}
+	if te.Succs(FUNode(0, 3)) != nil {
+		t.Error("no successors past the horizon")
+	}
+	if te.Reachable(FUNode(0, 2), FUNode(0, 1)) {
+		t.Error("reachability cannot go backward in time")
+	}
+	if te.Reachable(FUNode(0, 0), FUNode(99, 1)) {
+		t.Error("invalid nodes are unreachable")
+	}
+	if !te.Reachable(FUNode(2, 2), FUNode(2, 2)) {
+		t.Error("a node reaches itself")
+	}
+}

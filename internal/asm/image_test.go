@@ -1,0 +1,107 @@
+package asm
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	p := assemble(t, "FFT", core.FlowCAB, arch.HET1)
+	data, err := SaveImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := LoadImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Tiles) != len(p.Tiles) || len(img.BlockLens) != len(p.BlockLens) {
+		t.Fatal("shape mismatch")
+	}
+	for b, l := range p.BlockLens {
+		if img.BlockLens[b] != l {
+			t.Fatalf("block %d len %d != %d", b, img.BlockLens[b], l)
+		}
+		if img.BranchTiles[b] != p.BranchTiles[b] {
+			t.Fatalf("block %d branch tile mismatch", b)
+		}
+	}
+	for i := range p.Tiles {
+		want := &p.Tiles[i]
+		got := &img.Tiles[i]
+		if got.Words() != want.Words() {
+			t.Fatalf("tile %d words %d != %d", i+1, got.Words(), want.Words())
+		}
+		idx := 0
+		for b, seg := range want.Segments {
+			for j, in := range seg.Instrs {
+				if got.Segments[b][j] != in {
+					t.Fatalf("tile %d block %d instr %d: %v != %v", i+1, b, j, got.Segments[b][j], in)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestLoadImageRejectsGarbage(t *testing.T) {
+	if _, err := LoadImage([]byte("nope")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	p := assemble(t, "DCFilter", core.FlowBasic, arch.HOM64)
+	data, err := SaveImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadImage(data[:len(data)-3]); err == nil {
+		t.Error("truncated image should fail")
+	}
+	if _, err := LoadImage(append(data, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[4] = 99 // version
+	if _, err := LoadImage(corrupt); err == nil {
+		t.Error("bad version should fail")
+	}
+}
+
+func TestProgramFromImage(t *testing.T) {
+	k, _ := kernels.ByName("Convolution")
+	g := k.Build()
+	grid := arch.MustGrid(arch.HET2)
+	m, err := core.Map(g, grid, core.DefaultOptions(core.FlowCAB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := SaveImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := LoadImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProgramFromImage(img, g, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.TotalWords() != p.TotalWords() {
+		t.Fatalf("rebuilt program words %d != %d", p2.TotalWords(), p.TotalWords())
+	}
+	// Mismatched shapes are rejected.
+	if _, err := ProgramFromImage(img, g, arch.MustGrid(arch.HOM64)); err != nil {
+		t.Fatal("same tile count should load") // HOM64 also has 16 tiles
+	}
+	other, _ := kernels.ByName("FIR")
+	if _, err := ProgramFromImage(img, other.Build(), grid); err == nil {
+		t.Error("block-count mismatch should fail")
+	}
+}

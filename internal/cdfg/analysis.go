@@ -1,0 +1,194 @@
+package cdfg
+
+import "sort"
+
+// Sched holds the per-node scheduling metadata the list scheduler consumes:
+// ASAP and ALAP levels and the derived mobility, plus fan-out counts.
+//
+// Levels count dataflow depth in abstract cycles where every node takes one
+// cycle; constants and symbol reads take zero cycles because the CGRA
+// serves them from the constant and regular register files without
+// occupying an instruction slot.
+type Sched struct {
+	ASAP     []int
+	ALAP     []int
+	Mobility []int
+	Fanout   []int
+	Depth    int // critical-path length of the block in abstract cycles
+}
+
+// latency returns the abstract latency contribution of a node.
+func latency(op Opcode) int {
+	if op == OpConst || op == OpSym {
+		return 0
+	}
+	return 1
+}
+
+// Analyze computes scheduling metadata for one basic block.
+func Analyze(b *BasicBlock) *Sched {
+	n := len(b.Nodes)
+	s := &Sched{
+		ASAP:     make([]int, n),
+		ALAP:     make([]int, n),
+		Mobility: make([]int, n),
+		Fanout:   make([]int, n),
+	}
+	// ASAP: nodes are already in topological order.
+	for _, nd := range b.Nodes {
+		lvl := 0
+		for _, a := range nd.Args {
+			if v := s.ASAP[a] + latency(b.Nodes[a].Op); v > lvl {
+				lvl = v
+			}
+		}
+		s.ASAP[nd.ID] = lvl
+		if end := lvl + latency(nd.Op); end > s.Depth {
+			s.Depth = end
+		}
+	}
+	// Fanout: users within the block plus live-out uses.
+	for _, nd := range b.Nodes {
+		for _, a := range nd.Args {
+			s.Fanout[a]++
+		}
+	}
+	for _, id := range b.LiveOut {
+		s.Fanout[id]++
+	}
+	// ALAP: walk backward from sinks.
+	for i := range s.ALAP {
+		s.ALAP[i] = -1
+	}
+	sinkLevel := s.Depth
+	for i := n - 1; i >= 0; i-- {
+		nd := b.Nodes[i]
+		if s.ALAP[i] == -1 {
+			s.ALAP[i] = sinkLevel - latency(nd.Op)
+		}
+		for _, a := range nd.Args {
+			v := s.ALAP[i] - latency(b.Nodes[a].Op)
+			if s.ALAP[a] == -1 || v < s.ALAP[a] {
+				s.ALAP[a] = v
+			}
+		}
+	}
+	for i := range s.Mobility {
+		s.Mobility[i] = s.ALAP[i] - s.ASAP[i]
+	}
+	return s
+}
+
+// Users returns, for each node of b, the list of node ids that consume it.
+func Users(b *BasicBlock) [][]NodeID {
+	users := make([][]NodeID, len(b.Nodes))
+	for _, nd := range b.Nodes {
+		for _, a := range nd.Args {
+			users[a] = append(users[a], nd.ID)
+		}
+	}
+	return users
+}
+
+// BlockWeight computes the paper's weighted-traversal weight
+// Wbb = n(s) + Σ fanout(s) over the symbol variables s of the block, where
+// a block's symbol variables are the symbols it reads or publishes, and a
+// symbol's fan-out is the number of in-block consumers of its read node
+// plus one per publication.
+func BlockWeight(b *BasicBlock) int {
+	fanout := make(map[string]int)
+	for _, s := range b.SymReads() {
+		fanout[s] = 0
+	}
+	inblock := make([]int, len(b.Nodes))
+	for _, nd := range b.Nodes {
+		for _, a := range nd.Args {
+			inblock[a]++
+		}
+	}
+	for _, nd := range b.Nodes {
+		if nd.Op == OpSym {
+			fanout[nd.Sym] += inblock[nd.ID]
+		}
+	}
+	for s := range b.LiveOut {
+		fanout[s]++
+	}
+	w := len(fanout)
+	for _, f := range fanout {
+		w += f
+	}
+	return w
+}
+
+// TraversalKind selects the order in which the mapper visits basic blocks.
+type TraversalKind int
+
+const (
+	// TraverseForward visits blocks in reverse-postorder from the entry:
+	// the "forward CDFG traversal" of the basic flow.
+	TraverseForward TraversalKind = iota
+	// TraverseWeighted visits blocks in descending BlockWeight order, the
+	// paper's context-memory-aware traversal (ties broken by forward
+	// order for determinism).
+	TraverseWeighted
+)
+
+func (k TraversalKind) String() string {
+	switch k {
+	case TraverseForward:
+		return "forward"
+	case TraverseWeighted:
+		return "weighted"
+	}
+	return "unknown"
+}
+
+// Traversal returns the block visit order for the given strategy.
+func Traversal(g *Graph, kind TraversalKind) []BBID {
+	fwd := reversePostorder(g)
+	if kind == TraverseForward {
+		return fwd
+	}
+	pos := make(map[BBID]int, len(fwd))
+	for i, id := range fwd {
+		pos[id] = i
+	}
+	order := append([]BBID(nil), fwd...)
+	sort.SliceStable(order, func(i, j int) bool {
+		wi, wj := BlockWeight(g.Blocks[order[i]]), BlockWeight(g.Blocks[order[j]])
+		if wi != wj {
+			return wi > wj
+		}
+		return pos[order[i]] < pos[order[j]]
+	})
+	return order
+}
+
+// reversePostorder returns the blocks reachable from the entry in reverse
+// postorder, followed by any unreachable blocks in id order.
+func reversePostorder(g *Graph) []BBID {
+	seen := make([]bool, len(g.Blocks))
+	var post []BBID
+	var dfs func(BBID)
+	dfs = func(id BBID) {
+		seen[id] = true
+		for _, s := range g.Blocks[id].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(g.Entry)
+	order := make([]BBID, 0, len(g.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	for i := range g.Blocks {
+		if !seen[i] {
+			order = append(order, BBID(i))
+		}
+	}
+	return order
+}

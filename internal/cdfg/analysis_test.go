@@ -1,0 +1,148 @@
+package cdfg
+
+import (
+	"reflect"
+	"testing"
+)
+
+// diamond builds a block with a diamond DFG:
+//
+//	c0 → a → b →  d (store uses b, c)
+//	      \→ c →/
+func diamond() *BasicBlock {
+	b := NewBuilder("d")
+	e := b.Block("entry")
+	a := e.Load(e.Const(0)) // n0 const, n1 load
+	bb := e.AddC(a, 1)      // n2 const1, n3 add
+	cc := e.AddC(a, 2)      // n4 const2, n5 add
+	e.Store(bb, cc)         // n6 store
+	return b.Finish().Blocks[0]
+}
+
+func TestAnalyzeLevels(t *testing.T) {
+	blk := diamond()
+	s := Analyze(blk)
+	// Consts have zero latency; load at level 0, adds at 1, store at 2.
+	wantASAP := map[Opcode]int{OpLoad: 0, OpAdd: 1, OpStore: 2}
+	for _, n := range blk.Nodes {
+		if w, ok := wantASAP[n.Op]; ok && s.ASAP[n.ID] != w {
+			t.Errorf("ASAP(%s n%d) = %d, want %d", n.Op, n.ID, s.ASAP[n.ID], w)
+		}
+	}
+	if s.Depth != 3 {
+		t.Errorf("Depth = %d, want 3", s.Depth)
+	}
+	for _, n := range blk.Nodes {
+		if s.Mobility[n.ID] < 0 {
+			t.Errorf("negative mobility on n%d", n.ID)
+		}
+		if n.Op == OpLoad && s.Mobility[n.ID] != 0 {
+			t.Errorf("load mobility = %d, want 0 (critical path)", s.Mobility[n.ID])
+		}
+	}
+	// The load feeds both adds.
+	for _, n := range blk.Nodes {
+		if n.Op == OpLoad && s.Fanout[n.ID] != 2 {
+			t.Errorf("load fanout = %d, want 2", s.Fanout[n.ID])
+		}
+	}
+}
+
+func TestUsers(t *testing.T) {
+	blk := diamond()
+	users := Users(blk)
+	for _, n := range blk.Nodes {
+		if n.Op == OpLoad && len(users[n.ID]) != 2 {
+			t.Errorf("load users = %v", users[n.ID])
+		}
+		if n.Op == OpStore && len(users[n.ID]) != 0 {
+			t.Errorf("store should have no users")
+		}
+	}
+}
+
+func TestBlockWeight(t *testing.T) {
+	b := NewBuilder("w")
+	e := b.Block("entry")
+	z := e.Const(0)
+	e.SetSym("a", z)
+	e.SetSym("b", z)
+	e.Jump("heavy")
+
+	// heavy reads a (3 in-block consumers) and b (1), publishes both:
+	// W = n(s)=2 + fan(a)=3+1(liveout) + fan(b)=1+1 = 2+4+2 = 8.
+	h := b.Block("heavy")
+	av := h.Sym("a")
+	bv := h.Sym("b")
+	h.Store(av, h.Add(av, bv))
+	h.SetSym("a", h.AddC(av, 1))
+	h.SetSym("b", bv)
+	h.Jump("light")
+
+	// light touches no symbols: W = 0.
+	l := b.Block("light")
+	l.Store(l.Const(0), l.Const(1))
+	g := b.Finish()
+
+	if w := BlockWeight(g.Blocks[1]); w != 8 {
+		t.Errorf("heavy weight = %d, want 8", w)
+	}
+	if w := BlockWeight(g.Blocks[2]); w != 0 {
+		t.Errorf("light weight = %d, want 0", w)
+	}
+	// entry publishes a and b: W = 2 + 1 + 1 = 4.
+	if w := BlockWeight(g.Blocks[0]); w != 4 {
+		t.Errorf("entry weight = %d, want 4", w)
+	}
+}
+
+func TestTraversalOrders(t *testing.T) {
+	b := NewBuilder("t")
+	e := b.Block("entry")
+	z := e.Const(0)
+	e.SetSym("a", z)
+	e.SetSym("b", z)
+	e.Jump("heavy")
+	h := b.Block("heavy")
+	av := h.Sym("a")
+	h.Store(av, h.Add(av, h.Sym("b")))
+	h.SetSym("a", h.AddC(av, 1))
+	h.Jump("light")
+	l := b.Block("light")
+	l.Store(l.Const(0), l.Const(1))
+	g := b.Finish()
+
+	fwd := Traversal(g, TraverseForward)
+	if !reflect.DeepEqual(fwd, []BBID{0, 1, 2}) {
+		t.Errorf("forward = %v", fwd)
+	}
+	w := Traversal(g, TraverseWeighted)
+	// heavy (weight 7) before entry (4) before light (0).
+	if !reflect.DeepEqual(w, []BBID{1, 0, 2}) {
+		t.Errorf("weighted = %v (weights: entry=%d heavy=%d light=%d)",
+			w, BlockWeight(g.Blocks[0]), BlockWeight(g.Blocks[1]), BlockWeight(g.Blocks[2]))
+	}
+	if TraverseForward.String() != "forward" || TraverseWeighted.String() != "weighted" {
+		t.Error("TraversalKind strings")
+	}
+}
+
+func TestReversePostorderWithLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	e := b.Block("entry")
+	e.SetSym("i", e.Const(0))
+	e.Jump("loop")
+	l := b.Block("loop")
+	i2 := l.AddC(l.Sym("i"), 1)
+	l.SetSym("i", i2)
+	l.BranchIf(l.Lt(i2, l.Const(3)), "loop", "exit")
+	b.Block("exit")
+	g := b.Finish()
+	fwd := Traversal(g, TraverseForward)
+	if fwd[0] != g.Entry {
+		t.Errorf("forward traversal must start at entry: %v", fwd)
+	}
+	if len(fwd) != len(g.Blocks) {
+		t.Errorf("traversal covers %d of %d blocks", len(fwd), len(g.Blocks))
+	}
+}

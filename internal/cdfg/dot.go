@@ -1,0 +1,54 @@
+package cdfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz DOT form, one cluster per basic block
+// with dataflow edges inside clusters and control edges between them.
+// Useful for debugging kernel generators and mapper inputs.
+func Dot(g *Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  compound=true;\n  node [shape=box, fontsize=10];\n")
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", blk.ID, blk.Name)
+		for _, n := range blk.Nodes {
+			label := n.Op.String()
+			switch n.Op {
+			case OpConst:
+				label = fmt.Sprintf("%d", n.Val)
+			case OpSym:
+				label = n.Sym
+			}
+			fmt.Fprintf(&b, "    b%dn%d [label=%q];\n", blk.ID, n.ID, label)
+		}
+		for _, n := range blk.Nodes {
+			for _, a := range n.Args {
+				fmt.Fprintf(&b, "    b%dn%d -> b%dn%d;\n", blk.ID, a, blk.ID, n.ID)
+			}
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+	for _, blk := range g.Blocks {
+		if len(blk.Nodes) == 0 {
+			continue
+		}
+		from := fmt.Sprintf("b%dn%d", blk.ID, len(blk.Nodes)-1)
+		for i, s := range blk.Succs {
+			style := "solid"
+			if blk.HasBranch() && i == 1 {
+				style = "dashed"
+			}
+			to := g.Blocks[s]
+			if len(to.Nodes) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s -> b%dn0 [ltail=cluster_%d, lhead=cluster_%d, style=%s, color=red];\n",
+				from, to.ID, blk.ID, to.ID, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package cdfg
+
+import "fmt"
+
+// Memory is the word-addressed data memory shared by the interpreter, the
+// CPU model and the CGRA simulator.
+type Memory []int32
+
+// Load returns the word at addr.
+func (m Memory) Load(addr int32) (int32, error) {
+	if addr < 0 || int(addr) >= len(m) {
+		return 0, fmt.Errorf("cdfg: load address %d out of [0,%d)", addr, len(m))
+	}
+	return m[addr], nil
+}
+
+// Store writes v at addr.
+func (m Memory) Store(addr, v int32) error {
+	if addr < 0 || int(addr) >= len(m) {
+		return fmt.Errorf("cdfg: store address %d out of [0,%d)", addr, len(m))
+	}
+	m[addr] = v
+	return nil
+}
+
+// Clone returns a deep copy of the memory.
+func (m Memory) Clone() Memory {
+	c := make(Memory, len(m))
+	copy(c, m)
+	return c
+}
+
+// Trace records what an interpretation executed; all counts are dynamic.
+type Trace struct {
+	Blocks   int            // basic blocks executed
+	Nodes    int            // nodes evaluated (incl. const/sym)
+	Ops      int            // ALU operations (excl. const/sym/mem/branch)
+	Loads    int            // memory loads
+	Stores   int            // memory stores
+	Branches int            // conditional branches
+	PerBlock map[BBID]int   // executions per block
+	PerOp    map[Opcode]int // evaluations per opcode
+}
+
+// InterpLimit bounds the number of basic-block executions so that a buggy
+// kernel cannot loop forever.
+const InterpLimit = 10_000_000
+
+// Interp executes the graph on the given memory with sequential reference
+// semantics and returns an execution trace. The memory is modified in
+// place. Interp is the ground truth the CGRA simulator and the CPU model
+// are validated against.
+func Interp(g *Graph, mem Memory) (*Trace, error) {
+	if err := Verify(g); err != nil {
+		return nil, err
+	}
+	tr := &Trace{PerBlock: map[BBID]int{}, PerOp: map[Opcode]int{}}
+	syms := map[string]int32{}
+	cur := g.Entry
+	vals := []int32{}
+	for steps := 0; ; steps++ {
+		if steps >= InterpLimit {
+			return tr, fmt.Errorf("cdfg: interpretation of %q exceeded %d blocks", g.Name, InterpLimit)
+		}
+		b := g.Blocks[cur]
+		tr.Blocks++
+		tr.PerBlock[b.ID]++
+		if cap(vals) < len(b.Nodes) {
+			vals = make([]int32, len(b.Nodes))
+		}
+		vals = vals[:len(b.Nodes)]
+		var branchTaken bool
+		for _, n := range b.Nodes {
+			tr.Nodes++
+			tr.PerOp[n.Op]++
+			switch n.Op {
+			case OpConst:
+				vals[n.ID] = n.Val
+			case OpSym:
+				v, ok := syms[n.Sym]
+				if !ok {
+					return tr, fmt.Errorf("cdfg: block %q reads undefined symbol %q", b.Name, n.Sym)
+				}
+				vals[n.ID] = v
+			case OpLoad:
+				v, err := mem.Load(vals[n.Args[0]])
+				if err != nil {
+					return tr, fmt.Errorf("block %q n%d: %w", b.Name, n.ID, err)
+				}
+				vals[n.ID] = v
+				tr.Loads++
+			case OpStore:
+				if err := mem.Store(vals[n.Args[0]], vals[n.Args[1]]); err != nil {
+					return tr, fmt.Errorf("block %q n%d: %w", b.Name, n.ID, err)
+				}
+				tr.Stores++
+			case OpBr:
+				branchTaken = vals[n.Args[0]] != 0
+				tr.Branches++
+			default:
+				args := make([]int32, len(n.Args))
+				for i, a := range n.Args {
+					args[i] = vals[a]
+				}
+				v, err := EvalOp(n.Op, args)
+				if err != nil {
+					return tr, fmt.Errorf("block %q n%d: %w", b.Name, n.ID, err)
+				}
+				vals[n.ID] = v
+				tr.Ops++
+			}
+		}
+		for s, id := range b.LiveOut {
+			syms[s] = vals[id]
+		}
+		switch {
+		case b.HasBranch():
+			if branchTaken {
+				cur = b.Succs[0]
+			} else {
+				cur = b.Succs[1]
+			}
+		case len(b.Succs) == 1:
+			cur = b.Succs[0]
+		default:
+			return tr, nil
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package cdfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInterpLoopAndTrace(t *testing.T) {
+	// sum 0..9 into mem[0]
+	b := NewBuilder("sum")
+	e := b.Block("entry")
+	z := e.Const(0)
+	e.SetSym("i", z)
+	e.SetSym("acc", z)
+	e.Jump("loop")
+	l := b.Block("loop")
+	i := l.Sym("i")
+	acc := l.Add(l.Sym("acc"), i)
+	l.SetSym("acc", acc)
+	i2 := l.AddC(i, 1)
+	l.SetSym("i", i2)
+	l.BranchIf(l.Lt(i2, l.Const(10)), "loop", "exit")
+	x := b.Block("exit")
+	x.Store(x.Const(0), x.Sym("acc"))
+	g := b.Finish()
+
+	mem := make(Memory, 1)
+	tr, err := Interp(g, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem[0] != 45 {
+		t.Fatalf("sum = %d, want 45", mem[0])
+	}
+	if tr.Blocks != 12 { // entry + 10×loop + exit
+		t.Errorf("Blocks = %d, want 12", tr.Blocks)
+	}
+	if tr.Branches != 10 || tr.Stores != 1 || tr.Loads != 0 {
+		t.Errorf("counts: branches %d stores %d loads %d", tr.Branches, tr.Stores, tr.Loads)
+	}
+	if tr.PerBlock[1] != 10 {
+		t.Errorf("loop executed %d times, want 10", tr.PerBlock[1])
+	}
+	if tr.PerOp[OpAdd] == 0 {
+		t.Error("PerOp missing adds")
+	}
+}
+
+func TestInterpErrors(t *testing.T) {
+	t.Run("bad load", func(t *testing.T) {
+		b := NewBuilder("x")
+		e := b.Block("entry")
+		e.Store(e.Const(0), e.Load(e.Const(99)))
+		_, err := Interp(b.Finish(), make(Memory, 1))
+		if err == nil || !strings.Contains(err.Error(), "out of") {
+			t.Fatalf("want load range error, got %v", err)
+		}
+	})
+	t.Run("bad store", func(t *testing.T) {
+		b := NewBuilder("x")
+		e := b.Block("entry")
+		e.Store(e.Const(-1), e.Const(0))
+		_, err := Interp(b.Finish(), make(Memory, 1))
+		if err == nil {
+			t.Fatal("want store range error")
+		}
+	})
+	t.Run("infinite loop", func(t *testing.T) {
+		b := NewBuilder("x")
+		e := b.Block("entry")
+		e.Jump("entry")
+		_, err := Interp(b.Graph(), nil)
+		if err == nil || !strings.Contains(err.Error(), "exceeded") {
+			t.Fatalf("want loop-limit error, got %v", err)
+		}
+	})
+	t.Run("invalid graph rejected", func(t *testing.T) {
+		g := &Graph{Name: "bad"}
+		if _, err := Interp(g, nil); err == nil {
+			t.Fatal("want verify error")
+		}
+	})
+}
+
+func TestInterpSelectBothArms(t *testing.T) {
+	b := NewBuilder("sel")
+	e := b.Block("entry")
+	x := e.Load(e.Const(0))
+	v := e.Select(e.Gt(x, e.Const(0)), e.Const(100), e.Const(200))
+	e.Store(e.Const(1), v)
+	g := b.Finish()
+
+	mem := Memory{5, 0}
+	if _, err := Interp(g, mem); err != nil {
+		t.Fatal(err)
+	}
+	if mem[1] != 100 {
+		t.Fatalf("positive arm: got %d", mem[1])
+	}
+	mem = Memory{-5, 0}
+	if _, err := Interp(g, mem); err != nil {
+		t.Fatal(err)
+	}
+	if mem[1] != 200 {
+		t.Fatalf("negative arm: got %d", mem[1])
+	}
+}

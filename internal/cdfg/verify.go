@@ -1,0 +1,171 @@
+package cdfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Verify checks the structural invariants of a graph:
+//
+//   - node ids are dense and match slice positions;
+//   - every argument refers to an earlier node of the same block (the node
+//     list is a topological order of the DFG);
+//   - argument counts match opcodes, and only value-producing nodes are used
+//     as arguments or live-outs;
+//   - branch/successor shape is consistent;
+//   - every symbol read is defined on every path from the entry (a symbol
+//     written on some but not all incoming paths is rejected).
+func Verify(g *Graph) error {
+	if len(g.Blocks) == 0 {
+		return fmt.Errorf("graph %q has no blocks", g.Name)
+	}
+	if g.Entry < 0 || int(g.Entry) >= len(g.Blocks) {
+		return fmt.Errorf("graph %q entry %d out of range", g.Name, g.Entry)
+	}
+	names := map[string]bool{}
+	for bi, b := range g.Blocks {
+		if b.ID != BBID(bi) {
+			return fmt.Errorf("block %q: id %d at position %d", b.Name, b.ID, bi)
+		}
+		if names[b.Name] {
+			return fmt.Errorf("duplicate block name %q", b.Name)
+		}
+		names[b.Name] = true
+		if err := verifyBlock(g, b); err != nil {
+			return fmt.Errorf("block %q: %w", b.Name, err)
+		}
+	}
+	return verifySymbolDefs(g)
+}
+
+func verifyBlock(g *Graph, b *BasicBlock) error {
+	for i, n := range b.Nodes {
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("node id %d at position %d", n.ID, i)
+		}
+		if !n.Op.Valid() {
+			return fmt.Errorf("n%d: invalid opcode", n.ID)
+		}
+		if n.Op == OpMove {
+			return fmt.Errorf("n%d: OpMove is reserved for the mapper", n.ID)
+		}
+		if len(n.Args) != n.Op.NumArgs() {
+			return fmt.Errorf("n%d: %s takes %d args, has %d", n.ID, n.Op, n.Op.NumArgs(), len(n.Args))
+		}
+		for _, a := range n.Args {
+			if a < 0 || a >= NodeID(i) {
+				return fmt.Errorf("n%d: arg n%d not an earlier node", n.ID, a)
+			}
+			if !b.Nodes[a].Op.HasResult() {
+				return fmt.Errorf("n%d: arg n%d (%s) produces no value", n.ID, a, b.Nodes[a].Op)
+			}
+		}
+		if n.Op == OpSym && n.Sym == "" {
+			return fmt.Errorf("n%d: sym node without a name", n.ID)
+		}
+	}
+	for s, id := range b.LiveOut {
+		if id < 0 || int(id) >= len(b.Nodes) {
+			return fmt.Errorf("live-out %q: node n%d out of range", s, id)
+		}
+		if !b.Nodes[id].Op.HasResult() {
+			return fmt.Errorf("live-out %q: node n%d produces no value", s, id)
+		}
+	}
+	for _, s := range b.Succs {
+		if s < 0 || int(s) >= len(g.Blocks) {
+			return fmt.Errorf("successor %d out of range", s)
+		}
+	}
+	if b.HasBranch() {
+		if int(b.Branch) >= len(b.Nodes) || b.Nodes[b.Branch].Op != OpBr {
+			return fmt.Errorf("branch node n%d is not an OpBr", b.Branch)
+		}
+		if len(b.Succs) != 2 {
+			return fmt.Errorf("branch block needs 2 successors, has %d", len(b.Succs))
+		}
+	} else {
+		if len(b.Succs) > 1 {
+			return fmt.Errorf("non-branch block with %d successors", len(b.Succs))
+		}
+		for _, n := range b.Nodes {
+			if n.Op == OpBr {
+				return fmt.Errorf("n%d: OpBr node but block has no branch set", n.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// verifySymbolDefs performs a forward may-not-be-defined dataflow analysis:
+// a symbol read in block b must be defined on every path reaching b.
+func verifySymbolDefs(g *Graph) error {
+	all := g.Symbols()
+	idx := map[string]int{}
+	for i, s := range all {
+		idx[s] = i
+	}
+	// defined[b] = set of symbols guaranteed defined at entry of b.
+	// Meet is intersection over predecessors; entry starts empty.
+	defined := make([]map[int]bool, len(g.Blocks))
+	reached := make([]bool, len(g.Blocks))
+	reached[g.Entry] = true
+	defined[g.Entry] = map[int]bool{}
+
+	change := true
+	for change {
+		change = false
+		for _, b := range g.Blocks {
+			if !reached[b.ID] {
+				continue
+			}
+			out := map[int]bool{}
+			for s := range defined[b.ID] {
+				out[s] = true
+			}
+			for s := range b.LiveOut {
+				out[idx[s]] = true
+			}
+			for _, succ := range b.Succs {
+				if !reached[succ] {
+					reached[succ] = true
+					defined[succ] = copySet(out)
+					change = true
+					continue
+				}
+				// Intersect.
+				for s := range defined[succ] {
+					if !out[s] {
+						delete(defined[succ], s)
+						change = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, b := range g.Blocks {
+		if !reached[b.ID] {
+			continue // unreachable blocks are allowed but never checked at runtime
+		}
+		var missing []string
+		for _, s := range b.SymReads() {
+			if !defined[b.ID][idx[s]] {
+				missing = append(missing, s)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			return fmt.Errorf("block %q reads possibly-undefined symbols %v", b.Name, missing)
+		}
+	}
+	return nil
+}
+
+func copySet(s map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}

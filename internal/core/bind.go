@@ -1,0 +1,835 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/cdfg"
+	"repro/internal/isa"
+)
+
+// minHomeBudget is the least remaining context-memory budget a tile must
+// have to host a newly pinned symbol home under a memory-aware flow.
+const minHomeBudget = 16
+
+// minHomeHeadroom is the least unconsumed soft budget a tile must retain
+// at pin time to accept a new symbol home.
+const minHomeHeadroom = 6
+
+// pinStep pins an unpinned symbol's home register to a tile (the register
+// index is allocated at apply time).
+type pinStep struct {
+	Sym  string
+	Node cdfg.NodeID
+	Tile arch.TileID
+}
+
+// argPlan couples one operand with its routing plan.
+type argPlan struct {
+	Arg  cdfg.NodeID
+	Plan routePlan
+	Pin  *pinStep
+}
+
+// candidate is one feasible binding of a node under a specific partial.
+type candidate struct {
+	parent *partial
+	node   cdfg.NodeID
+	tile   arch.TileID
+	cycle  int
+	plans  []argPlan
+	cost   float64 // delta cost over the parent
+}
+
+// scheduleOrder returns the order in which the block's operations are
+// bound: a topological order refined by the paper's list-scheduling
+// priority — smaller mobility first, then larger fan-out, then node id.
+func scheduleOrder(b *cdfg.BasicBlock, s *cdfg.Sched) []cdfg.NodeID {
+	remaining := 0
+	pendingArgs := make([]int, len(b.Nodes))
+	users := cdfg.Users(b)
+	schedulable := func(n *cdfg.Node) bool {
+		return n.Op != cdfg.OpConst && n.Op != cdfg.OpSym
+	}
+	for _, n := range b.Nodes {
+		if !schedulable(n) {
+			continue
+		}
+		remaining++
+		for _, a := range n.Args {
+			if schedulable(b.Nodes[a]) {
+				pendingArgs[n.ID]++
+			}
+		}
+	}
+	var ready []cdfg.NodeID
+	for _, n := range b.Nodes {
+		if schedulable(n) && pendingArgs[n.ID] == 0 {
+			ready = append(ready, n.ID)
+		}
+	}
+	order := make([]cdfg.NodeID, 0, remaining)
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			a, c := ready[i], ready[best]
+			switch {
+			case s.Mobility[a] != s.Mobility[c]:
+				if s.Mobility[a] < s.Mobility[c] {
+					best = i
+				}
+			case s.Fanout[a] != s.Fanout[c]:
+				if s.Fanout[a] > s.Fanout[c] {
+					best = i
+				}
+			default:
+				if a < c {
+					best = i
+				}
+			}
+		}
+		n := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, n)
+		for _, u := range users[n] {
+			if !schedulable(b.Nodes[u]) {
+				continue
+			}
+			pendingArgs[u]--
+			if pendingArgs[u] == 0 {
+				ready = append(ready, u)
+			}
+		}
+	}
+	return order
+}
+
+// earliestCycle returns the first cycle node n could possibly execute in
+// partial p, given its operands' current locations.
+func (cx *bbCtx) earliestCycle(p *partial, n cdfg.NodeID) int {
+	earliest := 0
+	for _, a := range cx.block.Nodes[n].Args {
+		av := cx.argAvail(p, a)
+		if av > earliest {
+			earliest = av
+		}
+	}
+	return earliest
+}
+
+// argAvail returns the earliest cycle the value of node a can be consumed
+// anywhere on the array.
+func (cx *bbCtx) argAvail(p *partial, a cdfg.NodeID) int {
+	nd := cx.block.Nodes[a]
+	switch nd.Op {
+	case cdfg.OpConst:
+		return 0
+	case cdfg.OpSym:
+		if len(p.locs[a]) > 0 {
+			return 0
+		}
+		return 0 // unpinned symbol: pinned at first use, readable from cycle 0
+	}
+	best := math.MaxInt
+	for _, l := range p.locs[a] {
+		v := l.Cycle + 1
+		if v < 0 {
+			v = 0
+		}
+		if v < best {
+			best = v
+		}
+	}
+	if best == math.MaxInt {
+		return 0
+	}
+	return best
+}
+
+// frontier returns the cycle below which no future instruction other than
+// already-planned ones can start: the minimum earliest cycle over unbound
+// operations (estimated through unbound chains).
+func (cx *bbCtx) frontierOf(p *partial, unbound []cdfg.NodeID) int {
+	est := make(map[cdfg.NodeID]int, len(unbound))
+	front := math.MaxInt
+	for _, n := range unbound { // unbound is in topological order
+		e := 0
+		for _, a := range cx.block.Nodes[n].Args {
+			var av int
+			if ea, ok := est[a]; ok {
+				av = ea + 1
+			} else {
+				av = cx.argAvail(p, a)
+			}
+			if av > e {
+				e = av
+			}
+		}
+		est[n] = e
+		if e < front {
+			front = e
+		}
+	}
+	if front == math.MaxInt {
+		return p.maxCycle
+	}
+	return front
+}
+
+// cabBlacklist returns the bitmask of tiles that cannot accept another
+// instruction under the remaining context-memory budget (§III-D4).
+func (cx *bbCtx) cabBlacklist(p *partial) uint32 {
+	if !cx.cab {
+		return 0
+	}
+	var mask uint32
+	owed := cx.pendingWB(p)
+	for t := range p.tiles {
+		w := p.words(arch.TileID(t), p.maxCycle, false)
+		if w > 0 {
+			w++ // potential trailing pnop
+		} else if p.maxCycle > 0 {
+			w = 1
+		}
+		if owed != nil {
+			w += int(owed[t])
+		}
+		if w >= cx.budget[t] {
+			mask |= 1 << uint(t)
+		}
+	}
+	return mask
+}
+
+// genCandidates enumerates feasible bindings of node n under partial p
+// within [earliest, earliest+window]. With tail set, the window is
+// anchored at the end of the partial's current schedule, where slots are
+// free on every tile — the last-resort reroute region.
+func (cx *bbCtx) genCandidates(p *partial, n cdfg.NodeID, window int, tail bool, out []candidate) []candidate {
+	nd := cx.block.Nodes[n]
+	blacklist := cx.cabBlacklist(p)
+	earliest := cx.earliestCycle(p, n)
+	if tail && p.maxCycle > earliest {
+		earliest = p.maxCycle
+	}
+	produces := nd.Op.HasResult()
+	for cc := earliest; cc <= earliest+window; cc++ {
+		for t := 0; t < cx.grid.NumTiles(); t++ {
+			tid := arch.TileID(t)
+			if blacklist&(1<<uint(t)) != 0 {
+				continue
+			}
+			if nd.Op.IsMem() && !cx.grid.Tile(tid).HasLSU {
+				continue
+			}
+			if !cx.free(p, nil, tid, cc) {
+				continue
+			}
+			if produces && !cx.canProduce(p, nil, tid, cc) {
+				continue
+			}
+			cand, ok := cx.planCandidate(p, n, tid, cc, blacklist)
+			if ok {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// planCandidate plans the routing of every operand of n to (t, cc).
+func (cx *bbCtx) planCandidate(p *partial, n cdfg.NodeID, t arch.TileID, cc int, blacklist uint32) (candidate, bool) {
+	nd := cx.block.Nodes[n]
+	o := newOverlay()
+	o.claim(t, cc, nd.Op.HasResult())
+	cand := candidate{parent: p, node: n, tile: t, cycle: cc}
+	pinnedHere := map[string]bool{}
+	for _, a := range nd.Args {
+		ap := argPlan{Arg: a}
+		av := cx.block.Nodes[a]
+		if av.Op == cdfg.OpSym && len(p.locs[a]) == 0 {
+			// Unpinned symbol: pin its home on the consuming tile. A
+			// repeated operand reuses the pin from the earlier operand.
+			// A home is a long-lived commitment — every defining block
+			// sends a writeback there — so under constraint-aware
+			// binding, tiles whose soft context budget is small, or
+			// already mostly consumed by this block, cannot host one.
+			if cx.cab && (cx.soft[t] < minHomeBudget ||
+				cx.soft[t]-p.words(t, p.maxCycle, false) < minHomeHeadroom) {
+				return candidate{}, false
+			}
+			if !pinnedHere[av.Sym] {
+				if !cx.freshRegAvailable(p, o, t) {
+					return candidate{}, false
+				}
+				o.regs[t]++
+				pinnedHere[av.Sym] = true
+			}
+			ap.Pin = &pinStep{Sym: av.Sym, Node: a, Tile: t}
+			ap.Plan = routePlan{
+				Src:   isa.Src{Kind: isa.SrcReg}, // register resolved at apply
+				Reads: []regRead{{Tile: t, Reg: -2, Cycle: cc}},
+				Cost:  costRegAlloc,
+			}
+			if b := cx.soft[t]; cx.cab && b < unconstrained && b < 48 {
+				ap.Plan.Cost += 1.5 * (1 - float64(b)/48)
+			}
+		} else {
+			pl, ok := cx.planOperand(p, o, a, t, cc, blacklist)
+			if !ok {
+				return candidate{}, false
+			}
+			ap.Plan = pl
+			o.merge(pl)
+		}
+		cand.cost += ap.Plan.Cost
+		cand.plans = append(cand.plans, ap)
+	}
+	if grow := cc + 1 - p.maxCycle; grow > 0 {
+		cand.cost += costCycle * float64(grow)
+	}
+	// A multi-consumer value placed where no register can be allocated
+	// risks dying once the output register is clobbered; steer away.
+	if nd.Op.HasResult() && cx.wantsWriteback(n) && !cx.regAvailableAt(p, o, t, cc) {
+		cand.cost += 3.0
+	}
+	// Energy-aware placement: each instruction on a tile costs one
+	// context fetch per execution, quadratic in the tile's CM depth.
+	if cx.opt.EnergyAware {
+		for _, tt := range affectedTiles(&cand, t) {
+			cm := float64(cx.grid.Tile(tt).CMWords)
+			cand.cost += cx.opt.EnergyWeight * cm * cm / 4096
+		}
+	}
+	// Mild load-balance pressure: hot tiles should not absorb everything
+	// (the latency-driven spreading of the basic binder).
+	cand.cost += 0.015 * float64(p.tiles[t].Ops+p.tiles[t].Moves)
+	// Constraint-aware binding steers away from tiles whose context
+	// memory is filling up, before the hard pruning filters have to
+	// reject, and prefers placements that do not fragment the schedule
+	// into extra pnop groups. The plain ACMAP/ECMAP flows bind exactly
+	// like the basic flow and rely on pruning alone, which is what
+	// separates the paper's Figs 6-8.
+	if cx.cab {
+		gapDelta := p.tiles[t].wordsIfOccupied(cc, p.maxCycle) -
+			(p.tiles[t].Ops + p.tiles[t].Moves + p.tiles[t].gapGroups(p.maxCycle, false)) - 1
+		if gapDelta > 0 {
+			cand.cost += 0.4 * float64(gapDelta)
+		}
+		for _, tt := range affectedTiles(&cand, t) {
+			if cx.soft[tt] >= unconstrained {
+				continue
+			}
+			soft := cx.soft[tt]
+			if soft < 1 {
+				soft = 1
+			}
+			proj := float64(p.words(tt, p.maxCycle, false) + 1)
+			frac := proj / float64(soft)
+			if frac > 0.5 {
+				cand.cost += 6 * (frac - 0.5)
+			}
+		}
+	}
+	return cand, true
+}
+
+// affectedTiles lists the tiles receiving an instruction from the
+// candidate: the op tile plus every move/recompute hop.
+func affectedTiles(cand *candidate, op arch.TileID) []arch.TileID {
+	tiles := []arch.TileID{op}
+	for _, ap := range cand.plans {
+		for _, m := range ap.Plan.Moves {
+			tiles = append(tiles, m.Tile)
+		}
+		if ap.Plan.Recomp != nil {
+			tiles = append(tiles, ap.Plan.Recomp.Tile)
+		}
+	}
+	return tiles
+}
+
+// apply clones the parent partial and realizes the candidate on it.
+func (cx *bbCtx) apply(cand candidate, st *Stats) *partial {
+	p := cand.parent.clone()
+	nd := cx.block.Nodes[cand.node]
+	var srcs [isa.MaxSrcs]isa.Src
+	for i, ap := range cand.plans {
+		srcs[i] = cx.applyPlan(p, ap, st)
+	}
+	// Place the operation itself. (Stores and branches get the same
+	// sentinel location so placed() works, though nothing consumes them.)
+	ts := &p.tiles[cand.tile]
+	slot := ts.slotAt(cand.cycle)
+	*slot = Slot{Kind: SlotOp, Node: cand.node, Srcs: srcs, NSrc: len(cand.plans)}
+	ts.Ops++
+	p.bump(cand.cycle)
+	reg := noReg
+	if nd.Op.HasResult() && cx.wantsWriteback(cand.node) {
+		// Eager writeback: keep the value alive in the register file so
+		// later consumers can reach it after the output register is
+		// clobbered. Skipped when the file is full.
+		if r := p.allocRegAt(cx.grid.RRFSize, cand.tile, cand.cycle, false); r != noReg {
+			slot.WB = true
+			slot.WReg = uint8(r)
+			reg = r
+		}
+	}
+	p.locs[cand.node] = append(p.locs[cand.node], loc{Tile: cand.tile, Cycle: cand.cycle, Reg: reg})
+	p.cost += cand.cost
+	cx.releaseDeadRegs(p, nd)
+	return p
+}
+
+// releaseDeadRegs frees the registers of operand values whose in-block
+// consumers are now all placed and which no live-out symbol needs; their
+// registers recycle for later values (subject to read/write hazards
+// recorded in regLastRead/regLastWrite).
+func (cx *bbCtx) releaseDeadRegs(p *partial, nd *cdfg.Node) {
+	for _, a := range nd.Args {
+		an := cx.block.Nodes[a]
+		if an.Op == cdfg.OpConst || an.Op == cdfg.OpSym || cx.liveOutValues[a] {
+			continue
+		}
+		done := true
+		for _, u := range cx.users[a] {
+			if !p.placed(u) {
+				done = false
+				break
+			}
+		}
+		if !done {
+			continue
+		}
+		for i := range p.locs[a] {
+			l := &p.locs[a][i]
+			if l.Reg != noReg {
+				p.freeReg(l.Tile, l.Reg)
+				l.Reg = noReg
+			}
+		}
+	}
+}
+
+// wantsWriteback reports whether a node's value should be retained in the
+// register file: it has consumers or defines a live-out symbol.
+func (cx *bbCtx) wantsWriteback(n cdfg.NodeID) bool {
+	return len(cx.users[n]) > 0 || cx.liveOutValues[n]
+}
+
+// applyPlan realizes one operand plan on the cloned partial and returns
+// the operand source the consuming instruction uses.
+func (cx *bbCtx) applyPlan(p *partial, ap argPlan, st *Stats) isa.Src {
+	pl := ap.Plan
+	src := pl.Src
+	if ap.Pin != nil {
+		var r int8
+		if h, ok := p.newHomes[ap.Pin.Sym]; ok && h.Tile == ap.Pin.Tile {
+			// Pinned moments ago by a sibling operand of this candidate.
+			r = int8(h.Reg)
+		} else {
+			r = p.allocRegAt(cx.grid.RRFSize, ap.Pin.Tile, symHomeCycle, true)
+			if r == noReg {
+				panic("core: pin plan accepted without a fresh register")
+			}
+			if p.newHomes == nil {
+				p.newHomes = map[string]SymLoc{}
+			}
+			p.newHomes[ap.Pin.Sym] = SymLoc{Tile: ap.Pin.Tile, Reg: uint8(r)}
+			p.locs[ap.Pin.Node] = append(p.locs[ap.Pin.Node], loc{Tile: ap.Pin.Tile, Cycle: symHomeCycle, Reg: r})
+		}
+		src = isa.Reg(uint8(r))
+		for _, rd := range pl.Reads {
+			reg := rd.Reg
+			if reg == -2 {
+				reg = r
+			}
+			p.noteRead(cx.grid.RRFSize, rd.Tile, reg, rd.Cycle)
+		}
+		return src
+	}
+	// A retrofitted writeback allocates its register first so placeholder
+	// register operands (in moves and in the consumer source) resolve.
+	retroReg := noReg
+	if pl.Retro != nil {
+		ts := &p.tiles[pl.Retro.Tile]
+		retroReg = p.allocRegAt(cx.grid.RRFSize, pl.Retro.Tile, pl.Retro.Cycle, false)
+		if retroReg == noReg {
+			panic("core: retro plan accepted without a free register")
+		}
+		slot := ts.slotAt(pl.Retro.Cycle)
+		slot.WB = true
+		slot.WReg = uint8(retroReg)
+		// Update the matching location with its new register.
+		for i := range p.locs[ap.Arg] {
+			l := &p.locs[ap.Arg][i]
+			if l.Tile == pl.Retro.Tile && l.Cycle == pl.Retro.Cycle {
+				l.Reg = retroReg
+			}
+		}
+	}
+	resolveReg := func(s isa.Src) isa.Src {
+		if s.Kind == isa.SrcReg && s.Reg == retroPlaceholder {
+			if retroReg == noReg {
+				panic("core: placeholder register without a retro writeback")
+			}
+			s.Reg = uint8(retroReg)
+		}
+		return s
+	}
+	src = resolveReg(src)
+	for _, m := range pl.Moves {
+		ts := &p.tiles[m.Tile]
+		slot := ts.slotAt(m.Cycle)
+		*slot = Slot{Kind: SlotMove, Node: ap.Arg, Srcs: [isa.MaxSrcs]isa.Src{resolveReg(m.Src)}, NSrc: 1}
+		ts.Moves++
+		p.moves++
+		p.bump(m.Cycle)
+		p.locs[ap.Arg] = append(p.locs[ap.Arg], loc{Tile: m.Tile, Cycle: m.Cycle, Reg: noReg})
+	}
+	if pl.Recomp != nil {
+		rc := pl.Recomp
+		ts := &p.tiles[rc.Tile]
+		slot := ts.slotAt(rc.Cycle)
+		*slot = Slot{Kind: SlotOp, Node: rc.Node, Srcs: rc.Srcs, NSrc: rc.NSrc, Dup: true}
+		ts.Ops++
+		p.recomputes++
+		if st != nil {
+			st.Recomputes++
+		}
+		p.bump(rc.Cycle)
+		p.locs[ap.Arg] = append(p.locs[ap.Arg], loc{Tile: rc.Tile, Cycle: rc.Cycle, Reg: noReg})
+	}
+	for _, h := range pl.Holds {
+		p.tiles[h.Tile].addHold(h.Prod, h.Last)
+	}
+	for _, rd := range pl.Reads {
+		reg := rd.Reg
+		if reg == -2 {
+			reg = retroReg
+		}
+		p.noteRead(cx.grid.RRFSize, rd.Tile, reg, rd.Cycle)
+	}
+	for _, c := range pl.Consts {
+		if !p.tiles[c.Tile].internConst(c.Val, cx.opt.MaxCRF) {
+			panic("core: const plan accepted without CRF capacity")
+		}
+	}
+	return src
+}
+
+// diagnose renders why a node is hard to bind under one representative
+// partial: the operand locations and per-tile pressure.
+func (cx *bbCtx) diagnose(p *partial, n cdfg.NodeID) string {
+	var sb []byte
+	add := func(format string, args ...any) { sb = fmt.Appendf(sb, format, args...) }
+	add("  earliest=%d maxCycle=%d\n", cx.earliestCycle(p, n), p.maxCycle)
+	for _, a := range cx.block.Nodes[n].Args {
+		add("  arg n%d (%s): locs", a, cx.block.Nodes[a].Op)
+		for _, l := range p.locs[a] {
+			add(" (t%d,c%d,r%d)", l.Tile+1, l.Cycle, l.Reg)
+		}
+		add("\n")
+	}
+	for t := range p.tiles {
+		ts := &p.tiles[t]
+		add("  t%d: ops=%d moves=%d regs=%d/%d budget=%d holds=%v\n",
+			t+1, ts.Ops, ts.Moves, cx.grid.RRFSize-ts.freeRegs(cx.grid.RRFSize),
+			cx.grid.RRFSize, cx.budget[t], ts.Holds)
+	}
+	return string(sb)
+}
+
+// memReport renders per-tile context-word pressure for diagnostics,
+// listing the offending instructions of overflowing tiles.
+func (cx *bbCtx) memReport(p *partial) string {
+	var sb []byte
+	for t := range p.tiles {
+		w := p.words(arch.TileID(t), p.maxCycle, true)
+		sb = fmt.Appendf(sb, "  t%d: words=%d(+trail %d) budget=%d",
+			t+1, p.words(arch.TileID(t), p.maxCycle, false), w, cx.budget[t])
+		if w > cx.budget[t] {
+			for c, sl := range p.tiles[t].Slots {
+				if sl.Kind != SlotEmpty {
+					sb = fmt.Appendf(sb, " [c%d %d n%d wb=%v]", c, sl.Kind, sl.Node, sl.WB)
+				}
+			}
+		}
+		sb = append(sb, '\n')
+	}
+	return string(sb)
+}
+
+// violation names the first tile violating the in-flight memory filters.
+func (cx *bbCtx) violation(p *partial) string {
+	owed := cx.pendingWB(p)
+	for t := range p.tiles {
+		w := p.words(arch.TileID(t), p.maxCycle, false)
+		if w > 0 {
+			w++
+		} else if p.maxCycle > 0 {
+			w = 1
+		}
+		if owed != nil {
+			w += int(owed[t])
+		}
+		if w > cx.budget[t] {
+			return fmt.Sprintf("t%d=%d/%d", t+1, w, cx.budget[t])
+		}
+	}
+	return "?"
+}
+
+// pendingWB returns, per tile, how many live-out symbol writebacks are
+// still owed to home registers on that tile — each will need up to one
+// more context word at finalize.
+func (cx *bbCtx) pendingWB(p *partial) []int8 {
+	var owed []int8
+	for s, def := range cx.block.LiveOut {
+		h, ok := cx.lookupHome(p, s)
+		if !ok {
+			continue
+		}
+		if p.writeCycle(cx.grid.RRFSize, h.Tile, int8(h.Reg)) != noWrite {
+			continue // already written (retrofit or identity carry)
+		}
+		// The identity carry needs no writeback.
+		if nd := cx.block.Nodes[def]; nd.Op == cdfg.OpSym && nd.Sym == s {
+			continue
+		}
+		if owed == nil {
+			owed = make([]int8, cx.grid.NumTiles())
+		}
+		owed[h.Tile]++
+	}
+	return owed
+}
+
+// acmapOK implements the approximate context-memory aware pruning filter
+// (§III-D2): per tile, committed instructions plus the approximate pnop
+// count (leading and interior gaps of the current partial schedule) must
+// fit the remaining budget. The estimate tracks the schedule so far and is
+// approximate with respect to the final block schedule in both directions.
+// During mapping (reserve set) a word is reserved per pending live-out
+// writeback on its home tile.
+func (cx *bbCtx) acmapOK(p *partial, reserve bool) bool {
+	var owed []int8
+	if reserve {
+		owed = cx.pendingWB(p)
+	}
+	for t := range p.tiles {
+		w := p.words(arch.TileID(t), p.maxCycle, false)
+		if owed != nil {
+			w += int(owed[t])
+		}
+		if w > cx.budget[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// ecmapOK implements the exact context-memory aware pruning filter
+// (§III-D3): per tile, the exact context-word count of the schedule as it
+// stands — including the trailing pnop each lagging tile needs to idle to
+// the current makespan — must fit the remaining budget. During mapping
+// (reserve set) a word is reserved per pending live-out writeback.
+func (cx *bbCtx) ecmapOK(p *partial, reserve bool) bool {
+	return cx.ecmapOKHeadroom(p, reserve, reserve)
+}
+
+// ecmapOKHeadroom lets the caller drop the trailing-headroom and pending-
+// writeback charges near the end of a block, where all future
+// instructions are known and the finalize check is the authority (a
+// writeback can often retrofit into an existing slot at no word cost).
+func (cx *bbCtx) ecmapOKHeadroom(p *partial, reserve, headroom bool) bool {
+	var owed []int8
+	if reserve && headroom {
+		owed = cx.pendingWB(p)
+	}
+	for t := range p.tiles {
+		var w int
+		if headroom {
+			// While mapping, a growing makespan can still hand any active
+			// tile a trailing pnop, so one word of headroom is charged
+			// beyond the interior count; idle tiles owe their whole-block
+			// pnop.
+			w = p.words(arch.TileID(t), p.maxCycle, false)
+			if w > 0 {
+				w++
+			} else if p.maxCycle > 0 {
+				w = 1
+			}
+		} else {
+			w = p.words(arch.TileID(t), p.maxCycle, true)
+		}
+		if owed != nil {
+			w += int(owed[t])
+		}
+		if w > cx.budget[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// stochasticPrune bounds the beam: the best detFraction of the beam is
+// kept deterministically by cost, the rest of the slots are filled by
+// rank-weighted sampling (the paper's threshold function).
+func stochasticPrune(parts []*partial, beam int, detFrac float64, rng *rand.Rand, st *Stats) []*partial {
+	if len(parts) <= beam {
+		return parts
+	}
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].cost < parts[j].cost })
+	det := int(float64(beam) * detFrac)
+	if det > beam {
+		det = beam
+	}
+	kept := append([]*partial(nil), parts[:det]...)
+	rest := parts[det:]
+	need := beam - det
+	for need > 0 && len(rest) > 0 {
+		// Rank-weighted threshold: earlier (cheaper) partials are
+		// exponentially more likely to survive.
+		w := make([]float64, len(rest))
+		total := 0.0
+		for i := range rest {
+			w[i] = math.Exp(-float64(i) / float64(len(rest)))
+			total += w[i]
+		}
+		x := rng.Float64() * total
+		pick := 0
+		for i := range w {
+			x -= w[i]
+			if x <= 0 {
+				pick = i
+				break
+			}
+		}
+		kept = append(kept, rest[pick])
+		rest = append(rest[:pick], rest[pick+1:]...)
+		need--
+	}
+	st.PrunedStochastic += len(rest)
+	return kept
+}
+
+// mapBlock runs the combined scheduling/binding beam search for one basic
+// block, returning finalized partials (already filtered by the flow's
+// memory constraints). The caller commits the best one.
+func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial, error) {
+	order := scheduleOrder(cx.block, cx.sched)
+	beam := []*partial{init}
+	var cands []candidate
+	for oi, n := range order {
+		window := cx.opt.SlackWindow
+		cands = cands[:0]
+		tail := false
+		for {
+			for _, p := range beam {
+				cands = cx.genCandidates(p, n, window, tail, cands)
+			}
+			if len(cands) > 0 {
+				break
+			}
+			if window >= cx.opt.MaxSlack {
+				if !tail {
+					// Last resort: bind past the current makespan, where
+					// every tile has free slots (the reroute region).
+					tail = true
+					window = cx.opt.SlackWindow
+					st.Retries++
+					continue
+				}
+				return nil, fmt.Errorf("core: no binding for node n%d (%s) in block %q under flow %s\n%s",
+					n, cx.block.Nodes[n].Op, cx.block.Name, cx.opt.Flow, cx.diagnose(beam[0], n))
+			}
+			window *= 2
+			if window > cx.opt.MaxSlack {
+				window = cx.opt.MaxSlack
+			}
+			st.Retries++
+		}
+		// The exact binder can enumerate hundreds of placements; rank by
+		// accumulated cost and realize only the most promising.
+		sort.SliceStable(cands, func(i, j int) bool {
+			return cands[i].parent.cost+cands[i].cost < cands[j].parent.cost+cands[j].cost
+		})
+		// Realize candidates best-first until enough children survive the
+		// memory filters (the cap bounds survivors, so a run of filtered
+		// placements does not exhaust the binder's patience).
+		limit := cx.opt.CandidateCap
+		children := make([]*partial, 0, limit)
+		acPruned, ecPruned := 0, 0
+		unbound := order[oi+1:]
+		var sampleViol []string
+		for _, cand := range cands {
+			if len(children) >= limit {
+				break
+			}
+			child := cx.apply(cand, st)
+			st.Partials++
+			if cx.opt.Flow >= FlowACMAP && !cx.acmapOK(child, true) {
+				acPruned++
+				if len(sampleViol) < 4 {
+					sampleViol = append(sampleViol, "acmap:"+cx.violation(child))
+				}
+				continue
+			}
+			if cx.opt.Flow >= FlowECMAP {
+				// The paper runs the exact filter at each cycle boundary;
+				// checking every binding is equivalent but catches
+				// violating partials before they waste beam slots.
+				child.checkedTo = cx.frontierOf(child, unbound)
+				if !cx.ecmapOKHeadroom(child, true, len(unbound) > 3) {
+					ecPruned++
+					if len(sampleViol) < 4 {
+						sampleViol = append(sampleViol, "ecmap:"+cx.violation(child))
+					}
+					continue
+				}
+			}
+			children = append(children, child)
+		}
+		st.PrunedACMAP += acPruned
+		st.PrunedECMAP += ecPruned
+		if len(children) == 0 {
+			return nil, fmt.Errorf("core: all %d bindings of node n%d in block %q violate memory constraints (flow %s) %v\n%s",
+				len(cands), n, cx.block.Name, cx.opt.Flow, sampleViol, cx.memReport(cands[0].parent))
+		}
+		beam = stochasticPrune(children, cx.opt.BeamWidth, cx.opt.DetFraction, rng, st)
+	}
+	// Finalize: symbol writebacks and pnop accounting. The ECMAP and CAB
+	// flows verify the finalized block exactly; the ACMAP-only flow keeps
+	// its approximate filter here too, so blocks that do not actually fit
+	// can be committed — such mappings are rejected by the final
+	// whole-program check, reproducing the invalid-mapping abundance the
+	// paper reports for the ACMAP-only flow.
+	var done []*partial
+	var lastErr error
+	for _, p := range beam {
+		if err := cx.finalize(p); err != nil {
+			lastErr = err
+			continue
+		}
+		switch {
+		case cx.opt.Flow >= FlowECMAP && !cx.ecmapOK(p, false):
+			lastErr = fmt.Errorf("core: finalized block %q overflows context memory\n%s", cx.block.Name, cx.memReport(p))
+			continue
+		case cx.opt.Flow == FlowACMAP && !cx.acmapOK(p, false):
+			lastErr = fmt.Errorf("core: finalized block %q overflows context memory (approximate)\n%s", cx.block.Name, cx.memReport(p))
+			continue
+		}
+		done = append(done, p)
+	}
+	if len(done) == 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("core: no finalized mapping for block %q", cx.block.Name)
+		}
+		return nil, lastErr
+	}
+	return done, nil
+}

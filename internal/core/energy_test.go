@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestEnergyAwarePlacement checks that the energy-aware extension shifts
+// instructions toward the small-context-memory tiles of a heterogeneous
+// configuration without breaking feasibility.
+func TestEnergyAwarePlacement(t *testing.T) {
+	g := smallLoop(12)
+	grid := arch.MustGrid(arch.HET2)
+
+	base := DefaultOptions(FlowCAB)
+	m0, err := Map(g, grid, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea := base
+	ea.EnergyAware = true
+	m1, err := Map(g, grid, ea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weighted word mass: Σ words(t)·CM(t)² is the fetch-energy proxy the
+	// option minimizes; it must not increase.
+	mass := func(m *Mapping) float64 {
+		var s float64
+		for t, w := range m.TileWords() {
+			cm := float64(grid.Tile(arch.TileID(t)).CMWords)
+			s += float64(w) * cm * cm
+		}
+		return s
+	}
+	if mass(m1) > mass(m0) {
+		t.Errorf("energy-aware placement increased the fetch-energy proxy: %.0f > %.0f",
+			mass(m1), mass(m0))
+	}
+	if ok, tile := m1.FitsMemory(); !ok {
+		t.Fatalf("energy-aware mapping overflows tile %d", tile+1)
+	}
+}

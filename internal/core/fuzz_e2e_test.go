@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// randomProgram mirrors the generator in fuzz_test.go (package-internal)
+// for the external end-to-end fuzz: random loop programs with carried
+// symbols, loads, stores and a random arithmetic body.
+func randomProgram(rng *rand.Rand) (*cdfg.Graph, cdfg.Memory) {
+	const inN, outN = 16, 16
+	trip := int32(2 + rng.Intn(5))
+	bodyOps := 3 + rng.Intn(10)
+	nSyms := 1 + rng.Intn(3)
+
+	b := cdfg.NewBuilder(fmt.Sprintf("e2e%d", rng.Int31()))
+	e := b.Block("entry")
+	e.SetSym("i", e.Const(0))
+	for s := 0; s < nSyms; s++ {
+		e.SetSym(fmt.Sprintf("v%d", s), e.Const(rng.Int31n(50)-25))
+	}
+	e.Jump("loop")
+
+	l := b.Block("loop")
+	i := l.Sym("i")
+	pool := []cdfg.Value{i, l.Const(rng.Int31n(20) + 1)}
+	for s := 0; s < nSyms; s++ {
+		pool = append(pool, l.Sym(fmt.Sprintf("v%d", s)))
+	}
+	for k := 0; k < 1+rng.Intn(2); k++ {
+		off := rng.Int31n(inN - trip)
+		pool = append(pool, l.Load(l.AddC(i, off)))
+	}
+	binops := []cdfg.Opcode{
+		cdfg.OpAdd, cdfg.OpSub, cdfg.OpMul, cdfg.OpAnd, cdfg.OpOr,
+		cdfg.OpXor, cdfg.OpMin, cdfg.OpMax, cdfg.OpGt, cdfg.OpEq,
+	}
+	for k := 0; k < bodyOps; k++ {
+		op := binops[rng.Intn(len(binops))]
+		pool = append(pool, l.OpN(op, pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]))
+	}
+	l.Store(l.AddC(i, inN), pool[len(pool)-1])
+	for s := 0; s < nSyms; s++ {
+		if rng.Intn(2) == 0 {
+			l.SetSym(fmt.Sprintf("v%d", s), pool[rng.Intn(len(pool))])
+		}
+	}
+	i2 := l.AddC(i, 1)
+	l.SetSym("i", i2)
+	l.BranchIf(l.Lt(i2, l.Const(trip)), "loop", "exit")
+	x := b.Block("exit")
+	x.Store(x.Const(inN+outN-1), x.Sym("i"))
+	g := b.Finish()
+
+	mem := make(cdfg.Memory, inN+outN)
+	for k := range mem[:inN] {
+		mem[k] = rng.Int31n(200) - 100
+	}
+	return g, mem
+}
+
+// TestFuzzEndToEnd is the strongest correctness harness in the repository:
+// random programs are mapped, assembled, simulated cycle-accurately, and
+// their final data memory must match the reference interpreter bit for
+// bit. Any divergence in the mapper's routing, the assembler's encoding,
+// or the simulator's semantics fails here.
+func TestFuzzEndToEnd(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(271828))
+	flows := core.Flows()
+	cfgs := arch.ConfigNames()
+	verified := 0
+	for trial := 0; trial < trials; trial++ {
+		g, mem := randomProgram(rng)
+		flow := flows[rng.Intn(len(flows))]
+		cfg := cfgs[rng.Intn(len(cfgs))]
+		opt := core.DefaultOptions(flow)
+		opt.Seed = int64(1000 + trial)
+		m, err := core.Map(g, arch.MustGrid(cfg), opt)
+		if err != nil {
+			continue // clean mapping failures are acceptable
+		}
+		if ok, _ := m.FitsMemory(); !ok {
+			if flow != core.FlowBasic {
+				t.Fatalf("trial %d: aware flow returned an overflowing mapping", trial)
+			}
+			continue // the basic flow may overflow small configs; cannot run
+		}
+		prog, err := asm.Assemble(m)
+		if err != nil {
+			t.Fatalf("trial %d (%s/%s): assemble: %v\n%s", trial, flow, cfg, err, g)
+		}
+		s, err := sim.New(prog)
+		if err != nil {
+			t.Fatalf("trial %d (%s/%s): sim.New: %v", trial, flow, cfg, err)
+		}
+		if _, _, _, err := s.RunVerified(mem); err != nil {
+			t.Fatalf("trial %d (%s/%s): %v\n%s", trial, flow, cfg, err, g)
+		}
+		verified++
+	}
+	if verified < trials/3 {
+		t.Fatalf("only %d/%d trials verified", verified, trials)
+	}
+	t.Logf("fuzz e2e: %d/%d verified", verified, trials)
+}

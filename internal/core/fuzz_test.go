@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cdfg"
+)
+
+// randomLoopProgram generates a random but well-formed multi-block loop
+// program: an entry block initializing symbols, one or two loop nests over
+// random arithmetic bodies with loads and stores into disjoint regions,
+// and an exit. Inputs occupy mem[0:inN), outputs mem[inN:inN+outN).
+func randomLoopProgram(rng *rand.Rand) (*cdfg.Graph, cdfg.Memory) {
+	const inN, outN = 16, 16
+	trip := int32(2 + rng.Intn(6))
+	bodyOps := 3 + rng.Intn(12)
+	nSyms := 1 + rng.Intn(3)
+
+	b := cdfg.NewBuilder(fmt.Sprintf("fuzz%d", rng.Int31()))
+	e := b.Block("entry")
+	e.SetSym("i", e.Const(0))
+	for s := 0; s < nSyms; s++ {
+		e.SetSym(fmt.Sprintf("v%d", s), e.Const(rng.Int31n(50)-25))
+	}
+	e.Jump("loop")
+
+	l := b.Block("loop")
+	i := l.Sym("i")
+	pool := []cdfg.Value{i, l.Const(rng.Int31n(20) + 1)}
+	for s := 0; s < nSyms; s++ {
+		pool = append(pool, l.Sym(fmt.Sprintf("v%d", s)))
+	}
+	// A couple of loads from the input region (addresses in [0, inN)).
+	for k := 0; k < 1+rng.Intn(3); k++ {
+		off := rng.Int31n(inN - trip)
+		pool = append(pool, l.Load(l.AddC(i, off)))
+	}
+	binops := []cdfg.Opcode{
+		cdfg.OpAdd, cdfg.OpSub, cdfg.OpMul, cdfg.OpAnd, cdfg.OpOr,
+		cdfg.OpXor, cdfg.OpMin, cdfg.OpMax, cdfg.OpLt, cdfg.OpNe,
+	}
+	for k := 0; k < bodyOps; k++ {
+		op := binops[rng.Intn(len(binops))]
+		a := pool[rng.Intn(len(pool))]
+		c := pool[rng.Intn(len(pool))]
+		pool = append(pool, l.OpN(op, a, c))
+	}
+	// Store one result per iteration into the output region.
+	l.Store(l.AddC(i, inN), pool[len(pool)-1])
+	// Update a random subset of the carried symbols.
+	for s := 0; s < nSyms; s++ {
+		if rng.Intn(2) == 0 {
+			l.SetSym(fmt.Sprintf("v%d", s), pool[rng.Intn(len(pool))])
+		}
+	}
+	i2 := l.AddC(i, 1)
+	l.SetSym("i", i2)
+	l.BranchIf(l.Lt(i2, l.Const(trip)), "loop", "exit")
+
+	x := b.Block("exit")
+	x.Store(x.Const(inN+outN-1), x.Sym("i"))
+	g := b.Finish()
+
+	mem := make(cdfg.Memory, inN+outN)
+	for k := range mem[:inN] {
+		mem[k] = rng.Int31n(200) - 100
+	}
+	return g, mem
+}
+
+// TestFuzzMapAndCheck maps randomly generated loop programs under every
+// flow and configuration and requires the mapper either to fail cleanly
+// or to produce a mapping that passes the symbolic dataflow check (run
+// inside Map) and the memory constraint.
+func TestFuzzMapAndCheck(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(42))
+	flows := Flows()
+	cfgs := arch.ConfigNames()
+	mapped, failed := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		g, _ := randomLoopProgram(rng)
+		flow := flows[rng.Intn(len(flows))]
+		cfg := cfgs[rng.Intn(len(cfgs))]
+		opt := DefaultOptions(flow)
+		opt.Seed = int64(trial)
+		m, err := Map(g, arch.MustGrid(cfg), opt)
+		if err != nil {
+			failed++
+			continue
+		}
+		mapped++
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d (%s/%s): %v\n%s", trial, flow, cfg, err, g)
+		}
+		if flow.memoryAware() {
+			if ok, tile := m.FitsMemory(); !ok {
+				t.Fatalf("trial %d (%s/%s): overflow on tile %d", trial, flow, cfg, tile+1)
+			}
+		}
+	}
+	if mapped == 0 {
+		t.Fatal("fuzz never produced a mapping")
+	}
+	t.Logf("fuzz: %d mapped, %d failed cleanly", mapped, failed)
+}

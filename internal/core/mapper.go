@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cdfg"
+)
+
+// unconstrained is the per-tile budget used by the basic flow, which
+// ignores context-memory sizes entirely.
+const unconstrained = 1 << 30
+
+// Map maps the CDFG onto the CGRA configuration under the given options.
+// It returns an error when the flow cannot find a mapping satisfying its
+// constraints — the "no mapping solution" outcomes of the paper's Figs
+// 6–8.
+func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
+	start := time.Now()
+	opt.sanitize()
+	if err := cdfg.Verify(g); err != nil {
+		return nil, fmt.Errorf("core: invalid graph: %w", err)
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid grid: %w", err)
+	}
+
+	m := &Mapping{
+		Graph:    g,
+		Grid:     grid,
+		Flow:     opt.Flow,
+		Blocks:   make([]*BlockMapping, len(g.Blocks)),
+		SymHomes: map[string]SymLoc{},
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	used := make([]int, grid.NumTiles())
+	consts := make([][]int32, grid.NumTiles())
+	// usedRegs accumulates every register any committed block touched:
+	// symbol homes pinned later must avoid them, since an earlier block's
+	// temp writeback executing between the symbol's definition and use
+	// would clobber the home.
+	usedRegs := make([]uint16, grid.NumTiles())
+
+	order := cdfg.Traversal(g, opt.Traversal)
+	for oi, bbid := range order {
+		block := g.Blocks[bbid]
+		// Every still-unmapped block will occupy at least one word (a
+		// pnop) on every tile; the memory-aware flows reserve that floor
+		// so early blocks cannot consume the entire context memory.
+		reserve := len(order) - oi - 1
+		cx := &bbCtx{
+			grid:     grid,
+			block:    block,
+			opt:      &opt,
+			budget:   make([]int, grid.NumTiles()),
+			sched:    cdfg.Analyze(block),
+			users:    cdfg.Users(block),
+			symHomes: m.SymHomes,
+			cab:      opt.Flow >= FlowCAB,
+		}
+		cx.liveOutValues = map[cdfg.NodeID]bool{}
+		for _, id := range block.LiveOut {
+			cx.liveOutValues[id] = true
+		}
+		// Tiles hosting symbol homes receive writeback and read-out moves
+		// in later blocks; the soft budget (used for placement pressure
+		// and home-pinning eligibility, not for the hard pruning filters)
+		// additionally reserves two words per home.
+		homesOn := make([]int, grid.NumTiles())
+		for _, h := range m.SymHomes {
+			homesOn[h.Tile] += 2
+		}
+		cx.soft = make([]int, grid.NumTiles())
+		for t := range cx.budget {
+			if opt.Flow.memoryAware() {
+				cx.budget[t] = grid.Tile(arch.TileID(t)).CMWords - used[t] - reserve
+				cx.soft[t] = cx.budget[t] - homesOn[t]
+			} else {
+				cx.budget[t] = unconstrained
+				cx.soft[t] = unconstrained
+			}
+		}
+
+		// The exact flows retry a cornered block with a wider beam and
+		// deeper candidate list: the stochastic pruning then explores a
+		// different region of the space. This is part of the extra
+		// compilation time the memory-aware flow pays (the paper's Fig 9).
+		attempts := 2
+		switch {
+		case opt.Flow == FlowECMAP:
+			attempts = 4
+		case opt.Flow == FlowCAB:
+			attempts = 6
+		}
+		var done []*partial
+		var err error
+		for a := 0; a < attempts; a++ {
+			attemptOpt := opt
+			grow := a
+			if grow > 2 {
+				grow = 2
+			}
+			attemptOpt.BeamWidth = opt.BeamWidth << grow
+			attemptOpt.CandidateCap = opt.CandidateCap << grow
+			attemptOpt.Seed = opt.Seed + int64(a)*7919
+			cx.opt = &attemptOpt
+			if a > 0 {
+				rng = rand.New(rand.NewSource(attemptOpt.Seed))
+			}
+			init := cx.initialPartial(consts, usedRegs)
+			done, err = cx.mapBlock(init, rng, &m.Stats)
+			if err == nil {
+				break
+			}
+			m.Stats.Retries++
+		}
+		if err != nil {
+			m.Stats.CompileTime = time.Since(start)
+			return nil, fmt.Errorf("core: mapping %q onto %s: %w", g.Name, grid.Name, err)
+		}
+		win := selectBest(done)
+		m.Blocks[bbid] = cx.commit(win)
+		for t := range used {
+			used[t] += m.Blocks[bbid].Words(arch.TileID(t))
+			consts[t] = append(consts[t][:0], win.tiles[t].Consts...)
+			usedRegs[t] |= win.tiles[t].EverUsed
+		}
+		for s, h := range win.newHomes {
+			m.SymHomes[s] = h
+		}
+	}
+	m.Stats.CompileTime = time.Since(start)
+	if opt.Flow.memoryAware() {
+		if ok, t := m.FitsMemory(); !ok {
+			return nil, fmt.Errorf("core: mapping of %q overflows context memory of tile %d on %s",
+				g.Name, t+1, grid.Name)
+		}
+	}
+	// The symbolic dataflow check is a hard post-condition: a mapping that
+	// fails it would compute wrong values on the array.
+	if err := CheckDataflow(m); err != nil {
+		return nil, fmt.Errorf("core: mapping of %q is not dataflow-consistent: %w", g.Name, err)
+	}
+	return m, nil
+}
+
+// initialPartial builds the block's starting state: symbol homes pinned in
+// earlier blocks occupy their registers and provide initial locations for
+// this block's symbol reads; each tile's constant pool continues from the
+// committed blocks.
+func (cx *bbCtx) initialPartial(consts [][]int32, usedRegs []uint16) *partial {
+	n := cx.grid.NumTiles()
+	p := &partial{
+		tiles:         make([]tileState, n),
+		locs:          make([][]loc, len(cx.block.Nodes)),
+		regLastRead:   make([]int16, n*cx.grid.RRFSize),
+		regLastWrite:  make([]int16, n*cx.grid.RRFSize),
+		regWriteCycle: make([]int16, n*cx.grid.RRFSize),
+	}
+	for i := range p.regLastRead {
+		p.regLastRead[i] = -1
+		p.regLastWrite[i] = -1
+		p.regWriteCycle[i] = noWrite
+	}
+	for t := range p.tiles {
+		p.tiles[t].Consts = append([]int32(nil), consts[t]...)
+		p.tiles[t].EverUsed = usedRegs[t]
+		p.tiles[t].GlobalUsed = usedRegs[t]
+	}
+	for _, h := range cx.symHomes {
+		p.tiles[h.Tile].RegMask |= 1 << h.Reg
+		p.tiles[h.Tile].EverUsed |= 1 << h.Reg
+	}
+	for _, nd := range cx.block.Nodes {
+		if nd.Op != cdfg.OpSym {
+			continue
+		}
+		if h, ok := cx.symHomes[nd.Sym]; ok {
+			p.locs[nd.ID] = []loc{{Tile: h.Tile, Cycle: symHomeCycle, Reg: int8(h.Reg)}}
+		}
+	}
+	return p
+}

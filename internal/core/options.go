@@ -1,0 +1,161 @@
+// Package core implements the CGRA mapping flows of the paper: the basic
+// mapping of Das et al. (TCAD'18, the paper's reference [1]) and the
+// context-memory aware mapping built on top of it, with its four dedicated
+// steps — weighted CDFG traversal, approximate context-memory aware
+// pruning (ACMAP), exact context-memory aware pruning (ECMAP) and
+// constraint-aware binding (CAB).
+package core
+
+import "repro/internal/cdfg"
+
+// Flow selects which of the paper's mapping-flow variants runs. The
+// variants are cumulative, exactly like the paper's Figs 6–8 profile them.
+type Flow int
+
+const (
+	// FlowBasic is the memory-unaware baseline of [1]: forward CDFG
+	// traversal, no memory pruning.
+	FlowBasic Flow = iota
+	// FlowACMAP adds weighted traversal and approximate context-memory
+	// aware pruning (paper §III-D1 + §III-D2, evaluated in Fig 6).
+	FlowACMAP
+	// FlowECMAP additionally applies exact context-memory aware pruning at
+	// cycle boundaries (§III-D3, Fig 7).
+	FlowECMAP
+	// FlowCAB additionally blacklists full tiles during binding (§III-D4,
+	// Fig 8). This is the complete context-memory aware mapping.
+	FlowCAB
+)
+
+func (f Flow) String() string {
+	switch f {
+	case FlowBasic:
+		return "basic"
+	case FlowACMAP:
+		return "basic+ACMAP"
+	case FlowECMAP:
+		return "basic+ACMAP+ECMAP"
+	case FlowCAB:
+		return "basic+ACMAP+ECMAP+CAB"
+	}
+	return "unknown"
+}
+
+// Flows lists the variants in the paper's evaluation order.
+func Flows() []Flow { return []Flow{FlowBasic, FlowACMAP, FlowECMAP, FlowCAB} }
+
+// memoryAware reports whether the flow honors context-memory constraints.
+func (f Flow) memoryAware() bool { return f >= FlowACMAP }
+
+// Options tunes the mapper. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	// Flow selects the mapping-flow variant.
+	Flow Flow
+
+	// Traversal overrides the CDFG traversal order. By default FlowBasic
+	// uses forward traversal and the memory-aware flows use weighted
+	// traversal, matching the paper; tests and the Fig 5 experiment set it
+	// explicitly.
+	Traversal cdfg.TraversalKind
+	// ForceTraversal makes Traversal take effect even for FlowBasic.
+	ForceTraversal bool
+
+	// BeamWidth bounds the number of partial mappings kept after the
+	// stochastic pruning step.
+	BeamWidth int
+	// DetFraction is the fraction of the beam kept deterministically by
+	// cost; the remainder is sampled by the stochastic threshold function.
+	DetFraction float64
+	// Seed seeds the stochastic pruning. Equal seeds reproduce mappings.
+	Seed int64
+
+	// CandidateCap bounds the binding candidates considered per partial
+	// mapping per node (the exact binder can enumerate hundreds).
+	CandidateCap int
+
+	// SlackWindow is how many cycles beyond a node's earliest feasible
+	// cycle the binder explores initially.
+	SlackWindow int
+	// MaxSlack bounds the adaptive widening of the window when no
+	// candidate is found (the reroute graph transformation).
+	MaxSlack int
+
+	// MaxHold bounds how many cycles a value may be held live on a
+	// producer's output register for a delayed neighbor read; longer waits
+	// must buy a register writeback or moves instead.
+	MaxHold int
+
+	// Recompute enables the recompute graph transformation: duplicating a
+	// producer whose operands are constants on the consumer's tile when
+	// routing fails.
+	Recompute bool
+
+	// EnergyAware adds a placement cost proportional to the consuming
+	// tile's context-memory size, steering work toward tiles whose
+	// context fetches are cheap (an extension beyond the paper: the
+	// heterogeneous configurations make per-tile fetch energy differ by
+	// up to ~10×). Off by default; the evaluation uses the paper's flow.
+	EnergyAware bool
+	// EnergyWeight scales the energy-aware cost (default 0.4).
+	EnergyWeight float64
+
+	// Profile optionally weights basic blocks by dynamic execution counts
+	// when choosing among complete mappings (from cdfg.Trace.PerBlock).
+	Profile map[cdfg.BBID]int
+
+	// MaxCRF bounds the distinct constants a tile may reference (the
+	// constant register file size).
+	MaxCRF int
+}
+
+// DefaultOptions returns the tuning used throughout the evaluation.
+func DefaultOptions(flow Flow) Options {
+	tr := cdfg.TraverseForward
+	if flow.memoryAware() {
+		tr = cdfg.TraverseWeighted
+	}
+	return Options{
+		Flow:         flow,
+		Traversal:    tr,
+		BeamWidth:    24,
+		DetFraction:  0.5,
+		Seed:         1,
+		CandidateCap: 48,
+		SlackWindow:  4,
+		MaxSlack:     24,
+		MaxHold:      3,
+		Recompute:    true,
+		MaxCRF:       32,
+	}
+}
+
+func (o *Options) sanitize() {
+	if o.BeamWidth <= 0 {
+		o.BeamWidth = 1
+	}
+	if o.DetFraction < 0 || o.DetFraction > 1 {
+		o.DetFraction = 0.5
+	}
+	if o.CandidateCap <= 0 {
+		o.CandidateCap = 16
+	}
+	if o.SlackWindow <= 0 {
+		o.SlackWindow = 2
+	}
+	if o.MaxSlack < o.SlackWindow {
+		o.MaxSlack = o.SlackWindow
+	}
+	if o.MaxHold < 1 {
+		o.MaxHold = 1
+	}
+	if o.MaxCRF <= 0 {
+		o.MaxCRF = 32
+	}
+	if o.EnergyAware && o.EnergyWeight <= 0 {
+		o.EnergyWeight = 0.4
+	}
+	if !o.ForceTraversal && !o.Flow.memoryAware() {
+		o.Traversal = cdfg.TraverseForward
+	}
+}

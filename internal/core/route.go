@@ -1,0 +1,599 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/cdfg"
+	"repro/internal/isa"
+)
+
+// Routing cost weights. Moves are real context words; holds and register
+// pressure only constrain future freedom, so they cost far less.
+const (
+	costMove      = 1.0
+	costHoldCycle = 0.02
+	costRegAlloc  = 0.2
+	costNewConst  = 0.05
+	costRecompute = 1.1
+	costCycle     = 0.35 // schedule-length growth per cycle
+)
+
+// moveStep is one routing move a plan will insert.
+type moveStep struct {
+	Tile  arch.TileID
+	Cycle int
+	Src   isa.Src
+	// Produces the routed value: recorded as a new location on apply.
+}
+
+// holdAdd extends an output-register hold on a tile.
+type holdAdd struct {
+	Tile arch.TileID
+	Prod int
+	Last int
+}
+
+// regRead records a register-file read (for symbol writeback ordering).
+type regRead struct {
+	Tile  arch.TileID
+	Reg   int8
+	Cycle int
+}
+
+// wbRetro sets a writeback on an already placed slot so later consumers on
+// the same tile can read the value from the register file.
+type wbRetro struct {
+	Tile  arch.TileID
+	Cycle int
+	// Reg is allocated at apply time.
+}
+
+// routePlan is one feasible way to deliver a value to a consumer.
+type routePlan struct {
+	Src      isa.Src
+	Moves    []moveStep
+	Holds    []holdAdd
+	Retro    *wbRetro
+	Reads    []regRead
+	Consts   []constAdd
+	Recomp   *recompStep
+	ValueLoc int // index of the loc served (for diagnostics); -1 for const/recompute
+	Cost     float64
+}
+
+// constAdd interns an immediate in a tile's constant pool.
+type constAdd struct {
+	Tile arch.TileID
+	Val  int32
+}
+
+// recompStep duplicates an all-constant-operand producer on a tile (the
+// recompute graph transformation).
+type recompStep struct {
+	Tile  arch.TileID
+	Cycle int
+	Node  cdfg.NodeID
+	Srcs  [isa.MaxSrcs]isa.Src
+	NSrc  int
+}
+
+// overlay tracks the tentative effects of sibling operand plans within one
+// candidate so that plans don't collide before the candidate is applied.
+type overlay struct {
+	claimed map[int64]bool // slots taken by this candidate
+	prods   map[int64]bool // productions added at (tile, cycle)
+	holds   []holdAdd
+	regs    map[arch.TileID]int // registers tentatively allocated
+	retros  map[int64]bool      // slots claimed for a retrofitted writeback
+	consts  map[arch.TileID][]int32
+}
+
+func newOverlay() *overlay {
+	return &overlay{
+		claimed: map[int64]bool{},
+		prods:   map[int64]bool{},
+		regs:    map[arch.TileID]int{},
+		retros:  map[int64]bool{},
+		consts:  map[arch.TileID][]int32{},
+	}
+}
+
+func slotKey(t arch.TileID, c int) int64 { return int64(t)<<32 | int64(uint32(c)) }
+
+func (o *overlay) claim(t arch.TileID, c int, produces bool) {
+	o.claimed[slotKey(t, c)] = true
+	if produces {
+		o.prods[slotKey(t, c)] = true
+	}
+}
+
+func (o *overlay) merge(p routePlan) {
+	for _, m := range p.Moves {
+		o.claim(m.Tile, m.Cycle, true)
+	}
+	if p.Recomp != nil {
+		o.claim(p.Recomp.Tile, p.Recomp.Cycle, true)
+	}
+	o.holds = append(o.holds, p.Holds...)
+	if p.Retro != nil {
+		o.regs[p.Retro.Tile]++
+		o.retros[slotKey(p.Retro.Tile, p.Retro.Cycle)] = true
+	}
+	for _, c := range p.Consts {
+		o.consts[c.Tile] = append(o.consts[c.Tile], c.Val)
+	}
+}
+
+// bbCtx carries the per-block mapping context shared by all partials.
+type bbCtx struct {
+	grid   *arch.Grid
+	block  *cdfg.BasicBlock
+	opt    *Options
+	budget []int // remaining CM words per tile (committed blocks deducted)
+	// soft additionally reserves words on home-hosting tiles; it steers
+	// placement pressure and home pinning but never hard-prunes.
+	soft  []int
+	sched *cdfg.Sched
+	users [][]cdfg.NodeID
+	// symHomes is the global symbol-home table (shared, extended as homes
+	// are pinned; pinning happens between blocks, not inside the beam).
+	symHomes map[string]SymLoc
+	// liveOutValues marks nodes whose value a live-out symbol publishes.
+	liveOutValues map[cdfg.NodeID]bool
+	// cab enables constraint-aware binding (tile blacklisting).
+	cab bool
+}
+
+// free reports whether the slot is empty in both the partial and overlay.
+func (cx *bbCtx) free(p *partial, o *overlay, t arch.TileID, c int) bool {
+	if c < 0 {
+		return false
+	}
+	if o != nil && o.claimed[slotKey(t, c)] {
+		return false
+	}
+	return !p.tiles[t].occupied(c)
+}
+
+// canProduce reports whether a value-producing instruction may be placed
+// at (t, c) without clobbering a held output value.
+func (cx *bbCtx) canProduce(p *partial, o *overlay, t arch.TileID, c int) bool {
+	if !p.tiles[t].canProduceAt(c) {
+		return false
+	}
+	if o != nil {
+		for _, h := range o.holds {
+			if h.Tile == t && h.Prod < c && c < h.Last {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// outputLive reports whether the value produced on t at prod survives to a
+// read at cycle `read`, considering overlay productions.
+func (cx *bbCtx) outputLive(p *partial, o *overlay, t arch.TileID, prod, read int) bool {
+	if !p.tiles[t].outputLive(prod, read, cx.block) {
+		return false
+	}
+	if o != nil {
+		for c := prod + 1; c < read; c++ {
+			if o.prods[slotKey(t, c)] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// regAvailableAt reports whether tile t can provide a register for a
+// value written at the given cycle, after overlay allocations. Freed
+// registers recycle when their recorded reads and writes do not come
+// after the new write.
+func (cx *bbCtx) regAvailableAt(p *partial, o *overlay, t arch.TileID, cycle int) bool {
+	extra := 0
+	if o != nil {
+		extra = o.regs[t]
+	}
+	rrf := cx.grid.RRFSize
+	n := 0
+	for r := 0; r < rrf; r++ {
+		if p.tiles[t].RegMask&(1<<r) != 0 {
+			continue
+		}
+		if int(p.regLastRead[int(t)*rrf+r]) > cycle || int(p.regLastWrite[int(t)*rrf+r]) > cycle {
+			continue
+		}
+		n++
+	}
+	return n > extra
+}
+
+// freshRegAvailable reports whether tile t still has a never-touched
+// register for pinning a symbol home readable from cycle 0.
+func (cx *bbCtx) freshRegAvailable(p *partial, o *overlay, t arch.TileID) bool {
+	extra := 0
+	if o != nil {
+		extra = o.regs[t]
+	}
+	rrf := cx.grid.RRFSize
+	n := 0
+	for r := 0; r < rrf; r++ {
+		if p.tiles[t].RegMask&(1<<r) == 0 && p.tiles[t].EverUsed&(1<<r) == 0 {
+			n++
+		}
+	}
+	return n > extra
+}
+
+// constOK reports whether tile t can reference immediate v, and whether it
+// is a new pool entry.
+func (cx *bbCtx) constOK(p *partial, o *overlay, t arch.TileID, v int32) (ok, isNew bool) {
+	ts := &p.tiles[t]
+	if ts.hasConst(v) {
+		return true, false
+	}
+	n := len(ts.Consts)
+	if o != nil {
+		for _, ov := range o.consts[t] {
+			if ov == v {
+				return true, false
+			}
+		}
+		n += len(o.consts[t])
+	}
+	return n < cx.opt.MaxCRF, true
+}
+
+// retroClaimed reports whether a sibling plan of this candidate already
+// claimed the slot for a retrofitted writeback.
+func (cx *bbCtx) retroClaimed(o *overlay, t arch.TileID, c int) bool {
+	return o != nil && o.retros[slotKey(t, c)]
+}
+
+// dirFromTo returns the direction d such that the neighbor of `at` in
+// direction d is `from` (i.e. the source selector the consumer uses).
+func (cx *bbCtx) dirFromTo(at, from arch.TileID) (isa.Dir, bool) {
+	for i, n := range cx.grid.Neighbors(at) {
+		if n == from {
+			return isa.Dir(i), true
+		}
+	}
+	return 0, false
+}
+
+// planOperand finds the cheapest feasible plan delivering the value of
+// node v to a consumer executing on tile tc at cycle cc. Returns false
+// when no plan exists.
+func (cx *bbCtx) planOperand(p *partial, o *overlay, v cdfg.NodeID, tc arch.TileID, cc int, blacklist uint32) (routePlan, bool) {
+	nd := cx.block.Nodes[v]
+	// Constants are served from the consumer tile's CRF.
+	if nd.Op == cdfg.OpConst {
+		ok, isNew := cx.constOK(p, o, tc, nd.Val)
+		if !ok {
+			return routePlan{}, false
+		}
+		pl := routePlan{Src: isa.Const(nd.Val), ValueLoc: -1}
+		if isNew {
+			pl.Cost += costNewConst
+			pl.Consts = append(pl.Consts, constAdd{Tile: tc, Val: nd.Val})
+		}
+		return pl, true
+	}
+
+	best := routePlan{Cost: math.Inf(1)}
+	found := false
+	consider := func(pl routePlan, ok bool) {
+		if ok && pl.Cost < best.Cost {
+			best = pl
+			found = true
+		}
+	}
+
+	for li, l := range p.locs[v] {
+		consider(cx.planFromLoc(p, o, l, li, tc, cc, blacklist))
+	}
+	if cx.opt.Recompute {
+		consider(cx.planRecompute(p, o, v, tc, cc))
+	}
+	return best, found
+}
+
+// planFromLoc plans delivery from one existing location of the value.
+func (cx *bbCtx) planFromLoc(p *partial, o *overlay, l loc, li int, tc arch.TileID, cc int, blacklist uint32) (routePlan, bool) {
+	best := routePlan{Cost: math.Inf(1)}
+	found := false
+	consider := func(pl routePlan, ok bool) {
+		if ok && pl.Cost < best.Cost {
+			pl.ValueLoc = li
+			best = pl
+			found = true
+		}
+	}
+
+	if l.Tile == tc {
+		// Local register read. A symbol home register must not be read
+		// after its writeback has been scheduled.
+		if l.Reg != noReg && cc >= l.Cycle+1 && int16(cc) <= p.writeCycle(cx.grid.RRFSize, tc, l.Reg) {
+			consider(routePlan{
+				Src:   isa.Reg(uint8(l.Reg)),
+				Reads: []regRead{{Tile: tc, Reg: l.Reg, Cycle: cc}},
+			}, true)
+		}
+		if l.Cycle >= 0 {
+			// Own output register, if still live and the wait is short.
+			if cc > l.Cycle && cc-l.Cycle <= cx.opt.MaxHold && cx.outputLive(p, o, tc, l.Cycle, cc) {
+				consider(routePlan{
+					Src:   isa.Self(),
+					Holds: []holdAdd{{Tile: tc, Prod: l.Cycle, Last: cc}},
+					Cost:  costHoldCycle * float64(cc-l.Cycle),
+				}, true)
+			}
+			// Retrofit a writeback on the producing slot.
+			if l.Reg == noReg && cc >= l.Cycle+1 && cx.regAvailableAt(p, o, tc, l.Cycle) &&
+				!p.tiles[tc].Slots[l.Cycle].WB && !cx.retroClaimed(o, tc, l.Cycle) {
+				consider(routePlan{
+					Src:   isa.Reg(retroPlaceholder), // resolved at apply
+					Retro: &wbRetro{Tile: tc, Cycle: l.Cycle},
+					Reads: []regRead{{Tile: tc, Reg: -2, Cycle: cc}},
+					Cost:  costRegAlloc,
+				}, true)
+			}
+		}
+		if found {
+			return best, true
+		}
+		return routePlan{}, false
+	}
+
+	// Neighbor output-register read (not possible from a register home).
+	if l.Cycle >= 0 {
+		if d, adj := cx.dirFromTo(tc, l.Tile); adj {
+			if cc > l.Cycle && cc-l.Cycle <= cx.opt.MaxHold && cx.outputLive(p, o, l.Tile, l.Cycle, cc) {
+				consider(routePlan{
+					Src:   isa.Nbr(d),
+					Holds: []holdAdd{{Tile: l.Tile, Prod: l.Cycle, Last: cc}},
+					Cost:  costHoldCycle * float64(cc-l.Cycle),
+				}, true)
+			}
+		}
+	}
+
+	// Move chains along the two canonical shortest paths, trying each
+	// first-step access mode.
+	for _, path := range cx.paths(l.Tile, tc) {
+		for _, mode := range [...]chainMode{chainOutput, chainReg, chainRetro} {
+			consider(cx.planChain(p, o, l, path, tc, cc, blacklist, mode))
+		}
+	}
+	return best, found
+}
+
+// chainMode says how the first move of a chain accesses the value.
+type chainMode int
+
+const (
+	// chainOutput: the first move executes on a neighbor of the producer
+	// and reads the producer's output register.
+	chainOutput chainMode = iota
+	// chainReg: the first move executes on the value's own tile and reads
+	// it from the register file (symbol homes and written-back temps).
+	chainReg
+	// chainRetro: like chainReg, but the value has no register yet — a
+	// writeback is retrofitted onto the producing slot first.
+	chainRetro
+)
+
+// retroPlaceholder marks a register operand whose index is resolved when
+// the plan's retrofit writeback allocates the register.
+const retroPlaceholder uint8 = 0xff
+
+// paths returns the row-first and column-first shortest torus paths from a
+// to b (deduplicated when they coincide). Paths exclude a, include b.
+func (cx *bbCtx) paths(a, b arch.TileID) [][]arch.TileID {
+	p1 := cx.grid.Path(a, b)
+	// Column-first: route via the intermediate corner.
+	ta, tb := cx.grid.Tile(a), cx.grid.Tile(b)
+	corner := cx.grid.At(ta.Row, tb.Col).ID
+	var p2 []arch.TileID
+	if corner != a && corner != b {
+		p2 = append(cx.grid.Path(a, corner), cx.grid.Path(corner, b)...)
+	}
+	if p2 == nil || samePath(p1, p2) {
+		return [][]arch.TileID{p1}
+	}
+	return [][]arch.TileID{p1, p2}
+}
+
+func samePath(a, b []arch.TileID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// planChain plans a chain of moves from location l along path (which ends
+// at the consumer tile) so the consumer can neighbor-read the last hop's
+// output at cycle cc. The chain hops through path[0..len-2]. Depending on
+// the mode, the first move reads the producer's output register from a
+// neighboring tile (chainOutput), or executes on the value's own tile
+// reading the register file (chainReg for homes and written-back temps,
+// chainRetro with a retrofitted writeback for register-less values).
+func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc arch.TileID, cc int, blacklist uint32, mode chainMode) (routePlan, bool) {
+	var hops []arch.TileID
+	var srcReg uint8
+	var retro *wbRetro
+	minFirst := 0
+	switch mode {
+	case chainOutput:
+		if l.Cycle < 0 {
+			return routePlan{}, false // register homes have no output value
+		}
+		for i := 0; i+1 < len(path); i++ {
+			hops = append(hops, path[i])
+		}
+		if len(hops) == 0 {
+			// Adjacent: the direct neighbor-read case covers this.
+			return routePlan{}, false
+		}
+		minFirst = l.Cycle + 1
+	case chainReg:
+		if l.Reg == noReg {
+			return routePlan{}, false
+		}
+		srcReg = uint8(l.Reg)
+		hops = append(hops, l.Tile)
+		for i := 0; i+1 < len(path); i++ {
+			hops = append(hops, path[i])
+		}
+		minFirst = l.Cycle + 1 // for homes (Cycle -1) this is 0
+	case chainRetro:
+		if l.Reg != noReg || l.Cycle < 0 {
+			return routePlan{}, false
+		}
+		slot := p.tiles[l.Tile].Slots[l.Cycle]
+		if slot.Kind == SlotEmpty || slot.WB || !cx.regAvailableAt(p, o, l.Tile, l.Cycle) ||
+			cx.retroClaimed(o, l.Tile, l.Cycle) {
+			return routePlan{}, false
+		}
+		srcReg = retroPlaceholder
+		retro = &wbRetro{Tile: l.Tile, Cycle: l.Cycle}
+		hops = append(hops, l.Tile)
+		for i := 0; i+1 < len(path); i++ {
+			hops = append(hops, path[i])
+		}
+		minFirst = l.Cycle + 1
+	}
+
+	// Latest start: the chain runs on consecutive cycles and must finish
+	// by cc-1.
+	lastStart := cc - len(hops)
+	if lastStart < minFirst {
+		return routePlan{}, false
+	}
+
+	try := func(first int) (routePlan, bool) {
+		var pl routePlan
+		cyc := first
+		for i, h := range hops {
+			if blacklist&(1<<uint(h)) != 0 {
+				return routePlan{}, false
+			}
+			if !cx.free(p, o, h, cyc) || !cx.canProduce(p, o, h, cyc) {
+				return routePlan{}, false
+			}
+			var src isa.Src
+			if i == 0 && mode != chainOutput {
+				// Read the value from this tile's register file.
+				if mode == chainReg && int16(cyc) > p.writeCycle(cx.grid.RRFSize, l.Tile, l.Reg) {
+					return routePlan{}, false
+				}
+				src = isa.Reg(srcReg)
+				if mode == chainReg {
+					pl.Reads = append(pl.Reads, regRead{Tile: l.Tile, Reg: l.Reg, Cycle: cyc})
+				}
+			} else {
+				from := l.Tile
+				prod := l.Cycle
+				if i > 0 {
+					from = hops[i-1]
+					prod = cyc - 1
+				}
+				d, adj := cx.dirFromTo(h, from)
+				if !adj {
+					return routePlan{}, false
+				}
+				src = isa.Nbr(d)
+				if i == 0 {
+					// First hop of an output chain: the producer's value
+					// must still be live.
+					if cyc-prod > cx.opt.MaxHold || !cx.outputLive(p, o, from, prod, cyc) {
+						return routePlan{}, false
+					}
+					pl.Holds = append(pl.Holds, holdAdd{Tile: from, Prod: prod, Last: cyc})
+				}
+			}
+			pl.Moves = append(pl.Moves, moveStep{Tile: h, Cycle: cyc, Src: src})
+			cyc++
+		}
+		// Consumer neighbor-reads the last hop's output at cc.
+		last := hops[len(hops)-1]
+		d, adj := cx.dirFromTo(tc, last)
+		if !adj {
+			return routePlan{}, false
+		}
+		lastCycle := first + len(hops) - 1
+		if cc-lastCycle > cx.opt.MaxHold {
+			return routePlan{}, false
+		}
+		// The routed value must survive on the last hop's output register
+		// until the consumer reads it.
+		if cc > lastCycle+1 && !cx.outputLive(p, o, last, lastCycle, cc) {
+			return routePlan{}, false
+		}
+		pl.Src = isa.Nbr(d)
+		pl.Holds = append(pl.Holds, holdAdd{Tile: last, Prod: lastCycle, Last: cc})
+		pl.Retro = retro
+		pl.Cost = costMove * float64(len(hops))
+		pl.Cost += costHoldCycle * float64(cc-lastCycle)
+		if retro != nil {
+			pl.Cost += costRegAlloc
+		}
+		return pl, true
+	}
+
+	// Prefer the late chain (arriving just in time); fall back to the
+	// earliest chain, whose final value waits on the last hop's output.
+	if pl, ok := try(lastStart); ok {
+		return pl, true
+	}
+	if minFirst != lastStart {
+		if pl, ok := try(minFirst); ok {
+			return pl, true
+		}
+	}
+	return routePlan{}, false
+}
+
+// planRecompute duplicates a producer whose operands are all constants on
+// the consumer tile the cycle before consumption.
+func (cx *bbCtx) planRecompute(p *partial, o *overlay, v cdfg.NodeID, tc arch.TileID, cc int) (routePlan, bool) {
+	nd := cx.block.Nodes[v]
+	switch nd.Op {
+	case cdfg.OpConst, cdfg.OpSym, cdfg.OpLoad, cdfg.OpStore, cdfg.OpBr:
+		return routePlan{}, false
+	}
+	for _, a := range nd.Args {
+		if cx.block.Nodes[a].Op != cdfg.OpConst {
+			return routePlan{}, false
+		}
+	}
+	cyc := cc - 1
+	if cyc < 0 || !cx.free(p, o, tc, cyc) || !cx.canProduce(p, o, tc, cyc) {
+		return routePlan{}, false
+	}
+	pl := routePlan{Src: isa.Self(), ValueLoc: -1, Cost: costRecompute}
+	rc := &recompStep{Tile: tc, Cycle: cyc, Node: v, NSrc: len(nd.Args)}
+	for i, a := range nd.Args {
+		val := cx.block.Nodes[a].Val
+		ok, isNew := cx.constOK(p, o, tc, val)
+		if !ok {
+			return routePlan{}, false
+		}
+		if isNew {
+			pl.Consts = append(pl.Consts, constAdd{Tile: tc, Val: val})
+			pl.Cost += costNewConst
+		}
+		rc.Srcs[i] = isa.Const(val)
+	}
+	pl.Recomp = rc
+	pl.Holds = append(pl.Holds, holdAdd{Tile: tc, Prod: cyc, Last: cc})
+	return pl, true
+}

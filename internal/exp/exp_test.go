@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+)
+
+func TestRunnerCellAndCache(t *testing.T) {
+	r := NewRunner()
+	c1 := r.Run("FIR", core.FlowBasic, arch.HOM64)
+	if !c1.OK {
+		t.Fatalf("FIR basic failed: %s", c1.Fail)
+	}
+	if c1.Cycles <= 0 || c1.TotalWords <= 0 || c1.Energy.Total() <= 0 {
+		t.Fatalf("cell underfilled: %+v", c1)
+	}
+	c2 := r.Run("FIR", core.FlowBasic, arch.HOM64)
+	if c1 != c2 {
+		t.Error("cells should be cached")
+	}
+	if c := r.Run("nope", core.FlowBasic, arch.HOM64); c.OK {
+		t.Error("unknown kernel should fail")
+	}
+}
+
+func TestRunnerCPU(t *testing.T) {
+	r := NewRunner()
+	cc, err := r.CPU("DCFilter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Cycles <= 0 || cc.Energy.Total() <= 0 {
+		t.Fatalf("cpu cell: %+v", cc)
+	}
+	cc2, err := r.CPU("DCFilter")
+	if err != nil || cc != cc2 {
+		t.Error("cpu cells should be cached")
+	}
+	if _, err := r.CPU("nope"); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+}
+
+func TestFig2Hotspots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps MatM")
+	}
+	r := NewRunner()
+	f, err := r.RunFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Fig 2 observation: the load/store tiles are the
+	// hot-spots of the memory-unaware mapping.
+	if f.LSUUtilization() <= f.RestUtilization() {
+		t.Errorf("LS tiles %.2f should exceed the rest %.2f",
+			f.LSUUtilization(), f.RestUtilization())
+	}
+	if !strings.Contains(f.Render(), "tile 16") {
+		t.Error("render should list all tiles")
+	}
+}
+
+func TestFig5WeightedTraversal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps every kernel twice")
+	}
+	r := NewRunner()
+	f, err := r.RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Kernels) != 7 {
+		t.Fatalf("kernels: %v", f.Kernels)
+	}
+	// The paper's headline case is FFT; both traversals must at least map.
+	for i, k := range f.Kernels {
+		if k == "FFT" && (f.FailedFwd[i] || f.FailedWght[i]) {
+			t.Error("FFT must map under both traversals")
+		}
+	}
+	if !strings.Contains(f.Render(), "move ratio") {
+		t.Error("render shape")
+	}
+}
+
+func TestFig11AreasOrdering(t *testing.T) {
+	r := NewRunner()
+	f, err := r.RunFig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Designs) != 5 || f.Designs[0] != "CPU" {
+		t.Fatalf("designs: %v", f.Designs)
+	}
+	if f.PerCPU[0] != 1 {
+		t.Error("CPU normalizes to 1")
+	}
+	// HOM64 is the largest design.
+	for i := 2; i < len(f.Areas); i++ {
+		if f.Areas[i] >= f.Areas[1] {
+			t.Errorf("%s should be smaller than HOM64", f.Designs[i])
+		}
+	}
+}
+
+func TestLatencyFigSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps kernels")
+	}
+	r := NewRunner()
+	f, err := r.RunLatencyFig(core.FlowCAB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Kernels) != 7 || len(f.Configs) != 4 {
+		t.Fatalf("shape: %d kernels, %d configs", len(f.Kernels), len(f.Configs))
+	}
+	// Every kernel must map on at least one configuration under CAB.
+	for i, row := range f.Norm {
+		any := false
+		for _, v := range row {
+			if v > 0 {
+				any = true
+			}
+		}
+		if !any {
+			t.Errorf("%s mapped nowhere under CAB", f.Kernels[i])
+		}
+	}
+	out := f.Render()
+	if !strings.Contains(out, "Fig 8") {
+		t.Errorf("render title:\n%s", out)
+	}
+}
+
+func TestRunTraversalForcedOrders(t *testing.T) {
+	r := NewRunner()
+	fwd := r.RunTraversal("DCFilter", core.FlowBasic, arch.HOM64, cdfg.TraverseForward)
+	wgt := r.RunTraversal("DCFilter", core.FlowBasic, arch.HOM64, cdfg.TraverseWeighted)
+	if !fwd.OK || !wgt.OK {
+		t.Fatalf("traversal cells failed: %q / %q", fwd.Fail, wgt.Fail)
+	}
+	if fwd == wgt {
+		t.Error("different traversals must be distinct cache entries")
+	}
+}

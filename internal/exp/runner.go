@@ -1,0 +1,200 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation section (Figs 2, 5–11 and Table II) from end-to-end runs:
+// each cell maps a kernel with the selected flow, assembles it, simulates
+// it cycle-accurately with functional verification against the golden
+// reference, and derives energy from the activity counters.
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernels"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// Cell is one (kernel, flow, configuration) evaluation point.
+type Cell struct {
+	Kernel string
+	Flow   core.Flow
+	Config arch.ConfigName
+
+	// OK is false when the flow found no mapping (the zero bars of Figs
+	// 6–8); Fail carries the reason.
+	OK   bool
+	Fail string
+
+	Cycles      int64
+	Stalls      int64
+	CompileTime time.Duration
+	TileWords   []int
+	MaxWords    int
+	TotalWords  int
+	Ops         int
+	Moves       int
+	Pnops       int
+	Energy      power.EnergyBreakdown
+	MapStats    core.Stats
+}
+
+// CPUCell is a kernel's baseline execution.
+type CPUCell struct {
+	Kernel string
+	Cycles int64
+	Instrs int64
+	Energy power.EnergyBreakdown
+}
+
+type cellKey struct {
+	kernel string
+	flow   core.Flow
+	config arch.ConfigName
+	trav   cdfg.TraversalKind
+	forced bool
+}
+
+// Runner evaluates and caches cells. It is safe for concurrent use.
+type Runner struct {
+	Params power.Params
+
+	mu    sync.Mutex
+	cells map[cellKey]*Cell
+	cpus  map[string]*CPUCell
+}
+
+// NewRunner returns a Runner with the default power parameters.
+func NewRunner() *Runner {
+	return &Runner{
+		Params: power.Default(),
+		cells:  map[cellKey]*Cell{},
+		cpus:   map[string]*CPUCell{},
+	}
+}
+
+// Run evaluates one cell with the flow's default traversal.
+func (r *Runner) Run(kernel string, flow core.Flow, config arch.ConfigName) *Cell {
+	opt := core.DefaultOptions(flow)
+	return r.run(kernel, flow, config, opt)
+}
+
+// RunTraversal evaluates a cell forcing the CDFG traversal order (the
+// Fig 5 experiment).
+func (r *Runner) RunTraversal(kernel string, flow core.Flow, config arch.ConfigName, trav cdfg.TraversalKind) *Cell {
+	opt := core.DefaultOptions(flow)
+	opt.Traversal = trav
+	opt.ForceTraversal = true
+	return r.run(kernel, flow, config, opt)
+}
+
+func (r *Runner) run(kernel string, flow core.Flow, config arch.ConfigName, opt core.Options) *Cell {
+	key := cellKey{kernel, flow, config, opt.Traversal, opt.ForceTraversal}
+	r.mu.Lock()
+	if c, ok := r.cells[key]; ok {
+		r.mu.Unlock()
+		return c
+	}
+	r.mu.Unlock()
+	c := r.evaluate(kernel, flow, config, opt)
+	r.mu.Lock()
+	r.cells[key] = c
+	r.mu.Unlock()
+	return c
+}
+
+func (r *Runner) evaluate(kernel string, flow core.Flow, config arch.ConfigName, opt core.Options) *Cell {
+	c := &Cell{Kernel: kernel, Flow: flow, Config: config}
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		c.Fail = err.Error()
+		return c
+	}
+	g := k.Build()
+	grid := arch.MustGrid(config)
+	m, err := core.Map(g, grid, opt)
+	if err != nil {
+		c.Fail = err.Error()
+		return c
+	}
+	c.CompileTime = m.Stats.CompileTime
+	c.MapStats = m.Stats
+	c.TileWords = m.TileWords()
+	for _, w := range c.TileWords {
+		c.TotalWords += w
+		if w > c.MaxWords {
+			c.MaxWords = w
+		}
+	}
+	c.Ops, c.Moves, c.Pnops = m.TotalOps(), m.TotalMoves(), m.TotalPnops()
+
+	// The basic flow ignores memory constraints; a mapping that overflows
+	// the configuration cannot run on it (this is why the paper runs
+	// basic mappings on HOM64 only).
+	if ok, t := m.FitsMemory(); !ok {
+		c.Fail = fmt.Sprintf("mapping overflows context memory of tile %d", t+1)
+		return c
+	}
+	prog, err := asm.Assemble(m)
+	if err != nil {
+		c.Fail = err.Error()
+		return c
+	}
+	s, err := sim.New(prog)
+	if err != nil {
+		c.Fail = err.Error()
+		return c
+	}
+	res, _, mem, err := s.RunVerified(k.Init())
+	if err != nil {
+		c.Fail = err.Error()
+		return c
+	}
+	if err := k.Check(mem); err != nil {
+		c.Fail = err.Error()
+		return c
+	}
+	c.OK = true
+	c.Cycles = res.Cycles
+	c.Stalls = res.StallCycles
+	c.Energy = r.Params.CGRAEnergy(grid, res)
+	return c
+}
+
+// CPU evaluates (and caches) a kernel's baseline execution, verifying the
+// output against the golden reference.
+func (r *Runner) CPU(kernel string) (*CPUCell, error) {
+	r.mu.Lock()
+	if c, ok := r.cpus[kernel]; ok {
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+	k, err := kernels.ByName(kernel)
+	if err != nil {
+		return nil, err
+	}
+	mem := k.Init()
+	res, err := cpu.Run(k.Build(), mem, cpu.DefaultCosts())
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Check(mem); err != nil {
+		return nil, fmt.Errorf("exp: CPU run of %s failed verification: %w", kernel, err)
+	}
+	c := &CPUCell{Kernel: kernel, Cycles: res.Cycles, Instrs: res.Instrs, Energy: r.Params.CPUEnergy(res)}
+	r.mu.Lock()
+	r.cpus[kernel] = c
+	r.mu.Unlock()
+	return c, nil
+}
+
+// Baseline returns the basic-flow HOM64 cell a figure normalizes against.
+func (r *Runner) Baseline(kernel string) *Cell {
+	return r.Run(kernel, core.FlowBasic, arch.HOM64)
+}

@@ -1,0 +1,58 @@
+// Package interconnect models the logarithmic interconnect between the
+// CGRA's load/store tiles and the banked data memory (Fig 1 of the
+// paper). Accesses issued in the same cycle are served in parallel up to
+// the port count, except that accesses falling into the same word-
+// interleaved bank serialize; extra service cycles stall the whole array
+// through the global stall network.
+package interconnect
+
+import "repro/internal/arch"
+
+// Access is one data-memory request issued in a cycle.
+type Access struct {
+	Tile  arch.TileID
+	Addr  int32
+	Store bool
+}
+
+// Model is a logarithmic interconnect with a fixed number of ports into a
+// word-interleaved banked memory.
+type Model struct {
+	Ports int
+	Banks int
+}
+
+// New returns the interconnect of the given grid.
+func New(g *arch.Grid) *Model { return &Model{Ports: g.MemPorts, Banks: g.MemBanks} }
+
+// ServiceCycles returns how many cycles the batch of same-cycle accesses
+// needs: at least one, one per port-group, and one per same-bank
+// conflicting access.
+func (m *Model) ServiceCycles(accs []Access) int {
+	if len(accs) == 0 {
+		return 1
+	}
+	perBank := map[int32]int{}
+	maxBank := 0
+	for _, a := range accs {
+		b := a.Addr % int32(m.Banks)
+		if b < 0 {
+			b += int32(m.Banks)
+		}
+		perBank[b]++
+		if perBank[b] > maxBank {
+			maxBank = perBank[b]
+		}
+	}
+	need := (len(accs) + m.Ports - 1) / m.Ports
+	if maxBank > need {
+		need = maxBank
+	}
+	if need < 1 {
+		need = 1
+	}
+	return need
+}
+
+// Stalls returns the global stall cycles the batch inflicts on the array.
+func (m *Model) Stalls(accs []Access) int { return m.ServiceCycles(accs) - 1 }

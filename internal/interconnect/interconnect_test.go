@@ -1,0 +1,49 @@
+package interconnect
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestServiceCycles(t *testing.T) {
+	m := &Model{Ports: 4, Banks: 8}
+	acc := func(addrs ...int32) []Access {
+		var a []Access
+		for _, ad := range addrs {
+			a = append(a, Access{Addr: ad})
+		}
+		return a
+	}
+	cases := []struct {
+		name string
+		accs []Access
+		want int
+	}{
+		{"none", nil, 1},
+		{"one", acc(0), 1},
+		{"four distinct banks", acc(0, 1, 2, 3), 1},
+		{"five distinct banks", acc(0, 1, 2, 3, 4), 2},
+		{"eight distinct banks", acc(0, 1, 2, 3, 4, 5, 6, 7), 2},
+		{"two same bank", acc(0, 8), 2},
+		{"three same bank", acc(3, 11, 19), 3},
+		{"bank dominates ports", acc(0, 8, 16, 24), 4},
+		{"negative addresses wrap", acc(-1, -9), 2},
+	}
+	for _, c := range cases {
+		if got := m.ServiceCycles(c.accs); got != c.want {
+			t.Errorf("%s: ServiceCycles = %d, want %d", c.name, got, c.want)
+		}
+		if got := m.Stalls(c.accs); got != c.want-1 {
+			t.Errorf("%s: Stalls = %d, want %d", c.name, got, c.want-1)
+		}
+	}
+}
+
+func TestNewFromGrid(t *testing.T) {
+	g := arch.MustGrid(arch.HOM64)
+	m := New(g)
+	if m.Ports != g.MemPorts || m.Banks != g.MemBanks {
+		t.Errorf("New() = %+v, want ports %d banks %d", m, g.MemPorts, g.MemBanks)
+	}
+}

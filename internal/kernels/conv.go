@@ -1,0 +1,99 @@
+package kernels
+
+import "repro/internal/cdfg"
+
+// 2D convolution parameters: a 3×3 kernel over a 16×16 image producing a
+// 14×14 valid-region output, with the 3×3 window fully unrolled and
+// compile-time Q8 coefficients.
+const (
+	convW    = 16
+	convH    = 16
+	convOutW = convW - 2
+	convOutH = convH - 2
+	convInAt = 0
+	convOut  = convInAt + convW*convH
+	convEnd  = convOut + convOutW*convOutH
+)
+
+var convCoef = [3][3]int32{
+	{29, 58, 29},
+	{58, 116, 58},
+	{29, 58, 29},
+}
+
+func convInput() []int32 {
+	img := make([]int32, convW*convH)
+	for i := range img {
+		img[i] = int32((i*31 + 7) % 256)
+	}
+	return img
+}
+
+func convRef(img []int32) []int32 {
+	out := make([]int32, convOutW*convOutH)
+	for y := 0; y < convOutH; y++ {
+		for x := 0; x < convOutW; x++ {
+			var acc int32
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					acc += convCoef[ky][kx] * img[(y+ky)*convW+(x+kx)]
+				}
+			}
+			out[y*convOutW+x] = acc >> 8
+		}
+	}
+	return out
+}
+
+// Convolution returns the 3×3 2D convolution kernel.
+func Convolution() Kernel {
+	return Kernel{
+		Name: "Convolution",
+		Build: func() *cdfg.Graph {
+			b := cdfg.NewBuilder("convolution")
+			entry := b.Block("entry")
+			entry.SetSym("y", entry.Const(0))
+			entry.Jump("yloop")
+
+			yl := b.Block("yloop")
+			y := yl.Sym("y")
+			yl.SetSym("inrow", yl.AddC(yl.MulC(y, convW), convInAt))
+			yl.SetSym("outrow", yl.AddC(yl.MulC(y, convOutW), convOut))
+			yl.SetSym("x", yl.Const(0))
+			yl.Jump("xloop")
+
+			xl := b.Block("xloop")
+			x := xl.Sym("x")
+			inrow := xl.Sym("inrow")
+			base := xl.Add(inrow, x)
+			var terms []cdfg.Value
+			for ky := 0; ky < 3; ky++ {
+				for kx := 0; kx < 3; kx++ {
+					pv := xl.Load(xl.AddC(base, int32(ky*convW+kx)))
+					terms = append(terms, xl.MulC(pv, convCoef[ky][kx]))
+				}
+			}
+			res := xl.Sra(reduceAdd(xl, terms), xl.Const(8))
+			xl.Store(xl.Add(xl.Sym("outrow"), x), res)
+			x2 := xl.AddC(x, 1)
+			xl.SetSym("x", x2)
+			xl.BranchIf(xl.Lt(x2, xl.Const(convOutW)), "xloop", "ynext")
+
+			yn := b.Block("ynext")
+			y2 := yn.AddC(yn.Sym("y"), 1)
+			yn.SetSym("y", y2)
+			yn.BranchIf(yn.Lt(y2, yn.Const(convOutH)), "yloop", "exit")
+
+			b.Block("exit")
+			return b.Finish()
+		},
+		Init: func() cdfg.Memory {
+			mem := make(cdfg.Memory, convEnd)
+			copy(mem[convInAt:], convInput())
+			return mem
+		},
+		Check: func(mem cdfg.Memory) error {
+			return checkRegion(mem, convOut, convRef(convInput()), "out")
+		},
+	}
+}

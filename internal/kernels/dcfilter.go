@@ -1,0 +1,77 @@
+package kernels
+
+import "repro/internal/cdfg"
+
+// DC filter parameters: the classic DC-removal IIR
+//
+//	y[n] = x[n] - x[n-1] + (alpha * y[n-1]) >> 8
+//
+// over 64 samples with alpha = 0.95 in Q8. The recurrence is carried in
+// two symbol variables (no history loads), so the loop body is small and
+// serial — the low-ILP end of the suite.
+const (
+	dcN     = 64
+	dcAlpha = 243 // 0.95 in Q8
+	dcXAt   = 0
+	dcYAt   = dcXAt + dcN
+	dcEnd   = dcYAt + dcN
+)
+
+func dcInput() []int32 {
+	x := make([]int32, dcN)
+	for i := range x {
+		x[i] = int32((i*29+300)%512) - 256 + 100 // offset: a DC component to remove
+	}
+	return x
+}
+
+func dcRef(x []int32) []int32 {
+	y := make([]int32, dcN)
+	var xprev, yprev int32
+	for n := 0; n < dcN; n++ {
+		y[n] = x[n] - xprev + (dcAlpha*yprev)>>8
+		xprev = x[n]
+		yprev = y[n]
+	}
+	return y
+}
+
+// DCFilter returns the DC-removal IIR kernel.
+func DCFilter() Kernel {
+	return Kernel{
+		Name: "DCFilter",
+		Build: func() *cdfg.Graph {
+			b := cdfg.NewBuilder("dcfilter")
+			entry := b.Block("entry")
+			zero := entry.Const(0)
+			entry.SetSym("n", zero)
+			entry.SetSym("xprev", zero)
+			entry.SetSym("yprev", zero)
+			entry.Jump("loop")
+
+			loop := b.Block("loop")
+			n := loop.Sym("n")
+			x := loop.Load(loop.AddC(n, dcXAt))
+			hp := loop.Sub(x, loop.Sym("xprev"))
+			decay := loop.Sra(loop.MulC(loop.Sym("yprev"), dcAlpha), loop.Const(8))
+			y := loop.Add(hp, decay)
+			loop.Store(loop.AddC(n, dcYAt), y)
+			loop.SetSym("xprev", x)
+			loop.SetSym("yprev", y)
+			n2 := loop.AddC(n, 1)
+			loop.SetSym("n", n2)
+			loop.BranchIf(loop.Lt(n2, loop.Const(dcN)), "loop", "exit")
+
+			b.Block("exit")
+			return b.Finish()
+		},
+		Init: func() cdfg.Memory {
+			mem := make(cdfg.Memory, dcEnd)
+			copy(mem[dcXAt:], dcInput())
+			return mem
+		},
+		Check: func(mem cdfg.Memory) error {
+			return checkRegion(mem, dcYAt, dcRef(dcInput()), "y")
+		},
+	}
+}

@@ -1,0 +1,170 @@
+package kernels
+
+import "repro/internal/cdfg"
+
+// FFT parameters: a 16-point radix-2 decimation-in-time FFT on Q8
+// fixed-point complex data. The kernel copies the input into work arrays
+// in bit-reversed order, then runs the classic triple loop (stage, group,
+// butterfly) in place. With seven loop-carried symbol variables across six
+// loop blocks, this is the most control- and symbol-heavy kernel of the
+// suite — the one the paper profiles the weighted traversal on (Fig 5).
+const (
+	fftN     = 16
+	fftReAt  = 0
+	fftImAt  = fftReAt + fftN
+	fftWreAt = fftImAt + fftN    // 8 twiddle cosines, Q8
+	fftWimAt = fftWreAt + fftN/2 // 8 twiddle -sines, Q8
+	fftWrkRe = fftWimAt + fftN/2
+	fftWrkIm = fftWrkRe + fftN
+	fftEnd   = fftWrkIm + fftN
+)
+
+// Q8 twiddles for W16^k = exp(-2*pi*i*k/16), k = 0..7.
+var (
+	fftWre = [fftN / 2]int32{256, 237, 181, 98, 0, -98, -181, -237}
+	fftWim = [fftN / 2]int32{0, -98, -181, -237, -256, -237, -181, -98}
+)
+
+func fftInput() (re, im []int32) {
+	re = make([]int32, fftN)
+	im = make([]int32, fftN)
+	for i := range re {
+		re[i] = int32((i*97+31)%256) - 128
+		im[i] = int32((i*61+17)%256) - 128
+	}
+	return re, im
+}
+
+// bitrev4 reverses the low 4 bits of i.
+func bitrev4(i int32) int32 {
+	return (i&1)<<3 | (i&2)<<1 | (i&4)>>1 | (i&8)>>3
+}
+
+// fftRef is the bit-exact golden reference of the fixed-point FFT.
+func fftRef(reIn, imIn []int32) (re, im []int32) {
+	re = make([]int32, fftN)
+	im = make([]int32, fftN)
+	for i := int32(0); i < fftN; i++ {
+		re[bitrev4(i)] = reIn[i]
+		im[bitrev4(i)] = imIn[i]
+	}
+	for s := 1; s <= 4; s++ {
+		m := 1 << s
+		half := m >> 1
+		tstep := fftN / m
+		for j := 0; j < fftN; j += m {
+			for k := 0; k < half; k++ {
+				i1 := j + k
+				i2 := i1 + half
+				wre := fftWre[k*tstep]
+				wim := fftWim[k*tstep]
+				tre := (wre*re[i2] - wim*im[i2]) >> 8
+				tim := (wre*im[i2] + wim*re[i2]) >> 8
+				re[i2] = re[i1] - tre
+				im[i2] = im[i1] - tim
+				re[i1] = re[i1] + tre
+				im[i1] = im[i1] + tim
+			}
+		}
+	}
+	return re, im
+}
+
+// FFT returns the 16-point FFT kernel.
+func FFT() Kernel {
+	return Kernel{
+		Name: "FFT",
+		Build: func() *cdfg.Graph {
+			b := cdfg.NewBuilder("fft")
+			entry := b.Block("entry")
+			entry.SetSym("i", entry.Const(0))
+			entry.Jump("brloop")
+
+			// Bit-reversed copy into the work arrays.
+			br := b.Block("brloop")
+			i := br.Sym("i")
+			rev := br.Or(
+				br.Or(br.Shl(br.And(i, br.Const(1)), br.Const(3)),
+					br.Shl(br.And(i, br.Const(2)), br.Const(1))),
+				br.Or(br.Shr(br.And(i, br.Const(4)), br.Const(1)),
+					br.Shr(br.And(i, br.Const(8)), br.Const(3))))
+			br.Store(br.AddC(rev, fftWrkRe), br.Load(br.AddC(i, fftReAt)))
+			br.Store(br.AddC(rev, fftWrkIm), br.Load(br.AddC(i, fftImAt)))
+			i2 := br.AddC(i, 1)
+			br.SetSym("i", i2)
+			br.BranchIf(br.Lt(i2, br.Const(fftN)), "brloop", "sinit")
+
+			si := b.Block("sinit")
+			si.SetSym("s", si.Const(1))
+			si.Jump("sloop")
+
+			// Per-stage setup: span m, half-span, twiddle stride.
+			sl := b.Block("sloop")
+			s := sl.Sym("s")
+			m := sl.Shl(sl.Const(1), s)
+			sl.SetSym("m", m)
+			sl.SetSym("half", sl.Shr(m, sl.Const(1)))
+			sl.SetSym("tstep", sl.Shr(sl.Const(fftN), s))
+			sl.SetSym("j", sl.Const(0))
+			sl.Jump("jloop")
+
+			jl := b.Block("jloop")
+			jl.SetSym("k", jl.Const(0))
+			jl.Jump("kloop")
+
+			// Butterfly.
+			kl := b.Block("kloop")
+			k := kl.Sym("k")
+			j := kl.Sym("j")
+			half := kl.Sym("half")
+			i1 := kl.Add(j, k)
+			ii2 := kl.Add(i1, half)
+			are := kl.Load(kl.AddC(i1, fftWrkRe))
+			aim := kl.Load(kl.AddC(i1, fftWrkIm))
+			bre := kl.Load(kl.AddC(ii2, fftWrkRe))
+			bim := kl.Load(kl.AddC(ii2, fftWrkIm))
+			tw := kl.Mul(k, kl.Sym("tstep"))
+			wre := kl.Load(kl.AddC(tw, fftWreAt))
+			wim := kl.Load(kl.AddC(tw, fftWimAt))
+			c8 := kl.Const(8)
+			tre := kl.Sra(kl.Sub(kl.Mul(wre, bre), kl.Mul(wim, bim)), c8)
+			tim := kl.Sra(kl.Add(kl.Mul(wre, bim), kl.Mul(wim, bre)), c8)
+			kl.Store(kl.AddC(ii2, fftWrkRe), kl.Sub(are, tre))
+			kl.Store(kl.AddC(ii2, fftWrkIm), kl.Sub(aim, tim))
+			kl.Store(kl.AddC(i1, fftWrkRe), kl.Add(are, tre))
+			kl.Store(kl.AddC(i1, fftWrkIm), kl.Add(aim, tim))
+			k2 := kl.AddC(k, 1)
+			kl.SetSym("k", k2)
+			kl.BranchIf(kl.Lt(k2, half), "kloop", "jnext")
+
+			jn := b.Block("jnext")
+			j2 := jn.Add(jn.Sym("j"), jn.Sym("m"))
+			jn.SetSym("j", j2)
+			jn.BranchIf(jn.Lt(j2, jn.Const(fftN)), "jloop", "snext")
+
+			sn := b.Block("snext")
+			s2 := sn.AddC(sn.Sym("s"), 1)
+			sn.SetSym("s", s2)
+			sn.BranchIf(sn.Le(s2, sn.Const(4)), "sloop", "exit")
+
+			b.Block("exit")
+			return b.Finish()
+		},
+		Init: func() cdfg.Memory {
+			mem := make(cdfg.Memory, fftEnd)
+			re, im := fftInput()
+			copy(mem[fftReAt:], re)
+			copy(mem[fftImAt:], im)
+			copy(mem[fftWreAt:], fftWre[:])
+			copy(mem[fftWimAt:], fftWim[:])
+			return mem
+		},
+		Check: func(mem cdfg.Memory) error {
+			re, im := fftRef(fftInput())
+			if err := checkRegion(mem, fftWrkRe, re, "re"); err != nil {
+				return err
+			}
+			return checkRegion(mem, fftWrkIm, im, "im")
+		},
+	}
+}

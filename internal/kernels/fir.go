@@ -1,0 +1,76 @@
+package kernels
+
+import "repro/internal/cdfg"
+
+// FIR parameters: an 8-tap finite-impulse-response filter over 64 output
+// samples, taps fully unrolled in the loop body with compile-time
+// coefficients (Q8 fixed point).
+const (
+	firTaps = 8
+	firN    = 64
+	firXAt  = 0 // x[0 .. firN+firTaps-2]
+	firYAt  = firXAt + firN + firTaps - 1
+	firEnd  = firYAt + firN
+)
+
+// firCoef holds the Q8 filter coefficients.
+var firCoef = [firTaps]int32{12, 34, 78, 121, 121, 78, 34, 12}
+
+// firRef is the golden reference: y[n] = (Σ h[k]·x[n+k]) >> 8.
+func firRef(x []int32) []int32 {
+	y := make([]int32, firN)
+	for n := 0; n < firN; n++ {
+		var acc int32
+		for k := 0; k < firTaps; k++ {
+			acc += firCoef[k] * x[n+k]
+		}
+		y[n] = acc >> 8
+	}
+	return y
+}
+
+func firInput() []int32 {
+	x := make([]int32, firN+firTaps-1)
+	for i := range x {
+		x[i] = int32((i*37)%256) - 128
+	}
+	return x
+}
+
+// FIR returns the FIR kernel.
+func FIR() Kernel {
+	return Kernel{
+		Name: "FIR",
+		Build: func() *cdfg.Graph {
+			b := cdfg.NewBuilder("fir")
+			entry := b.Block("entry")
+			entry.SetSym("n", entry.Const(0))
+			entry.Jump("loop")
+
+			loop := b.Block("loop")
+			n := loop.Sym("n")
+			terms := make([]cdfg.Value, firTaps)
+			for k := 0; k < firTaps; k++ {
+				xv := loop.Load(loop.AddC(n, firXAt+int32(k)))
+				terms[k] = loop.MulC(xv, firCoef[k])
+			}
+			acc := reduceAdd(loop, terms)
+			y := loop.Sra(acc, loop.Const(8))
+			loop.Store(loop.AddC(n, firYAt), y)
+			n2 := loop.AddC(n, 1)
+			loop.SetSym("n", n2)
+			loop.BranchIf(loop.Lt(n2, loop.Const(firN)), "loop", "exit")
+
+			b.Block("exit")
+			return b.Finish()
+		},
+		Init: func() cdfg.Memory {
+			mem := make(cdfg.Memory, firEnd)
+			copy(mem[firXAt:], firInput())
+			return mem
+		},
+		Check: func(mem cdfg.Memory) error {
+			return checkRegion(mem, firYAt, firRef(firInput()), "y")
+		},
+	}
+}

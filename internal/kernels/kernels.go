@@ -1,0 +1,100 @@
+// Package kernels provides the seven compute-intensive signal-processing
+// kernels of the paper's evaluation — FIR, matrix multiplication, 2D
+// convolution, separable filter, non-separable filter, FFT and DC filter —
+// as CDFG generators with golden Go reference implementations and input
+// generators.
+//
+// The CDFGs play the role of the paper's compiler frontend output: loop
+// nests become basic blocks linked by symbol variables, inner loops are
+// unrolled over the coefficient/reduction dimension like an optimizing
+// frontend would, and filter coefficients are compile-time constants
+// served from the constant register files.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/cdfg"
+)
+
+// Kernel bundles one benchmark kernel.
+type Kernel struct {
+	// Name is the paper's kernel name.
+	Name string
+	// Build generates the kernel's CDFG.
+	Build func() *cdfg.Graph
+	// Init returns the initial data memory (inputs placed, outputs zero).
+	Init func() cdfg.Memory
+	// Check verifies the output region of a final memory against the
+	// golden Go reference computed from the same inputs.
+	Check func(mem cdfg.Memory) error
+}
+
+// All returns the seven kernels in the paper's presentation order
+// (Table II).
+func All() []Kernel {
+	return []Kernel{
+		FIR(),
+		MatM(),
+		Convolution(),
+		SepFilter(),
+		NonSepFilter(),
+		FFT(),
+		DCFilter(),
+	}
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+// Names lists the kernel names in order.
+func Names() []string {
+	ks := All()
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// reduceAdd sums the values with a balanced binary tree, the shape an
+// optimizing (-O3 style) frontend produces for integer reductions: depth
+// log2(n) instead of n, exposing the instruction-level parallelism the
+// CGRA feeds on.
+func reduceAdd(bb *cdfg.BlockBuilder, vals []cdfg.Value) cdfg.Value {
+	if len(vals) == 0 {
+		panic("kernels: reduceAdd of no values")
+	}
+	for len(vals) > 1 {
+		next := make([]cdfg.Value, 0, (len(vals)+1)/2)
+		for i := 0; i+1 < len(vals); i += 2 {
+			next = append(next, bb.Add(vals[i], vals[i+1]))
+		}
+		if len(vals)%2 == 1 {
+			next = append(next, vals[len(vals)-1])
+		}
+		vals = next
+	}
+	return vals[0]
+}
+
+// checkRegion compares a memory region against expected values.
+func checkRegion(mem cdfg.Memory, base int32, want []int32, what string) error {
+	for i, w := range want {
+		got, err := mem.Load(base + int32(i))
+		if err != nil {
+			return err
+		}
+		if got != w {
+			return fmt.Errorf("kernels: %s[%d] = %d, want %d", what, i, got, w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package kernels
+
+import "repro/internal/cdfg"
+
+// Matrix multiplication parameters: C = A×B with 16×16 int32 matrices.
+// The reduction (k) loop is fully unrolled and the column (j) loop is
+// unrolled by two, sharing the A-row loads between the two output
+// elements — the shape an optimizing frontend produces. The unrolled body
+// is dominated by loads feeding multiplies: the load/store hot-spot
+// pattern of the paper's Fig 2.
+const (
+	matmN       = 16
+	matmJUnroll = 2
+	matmAAt     = 0
+	matmBAt     = matmAAt + matmN*matmN
+	matmCAt     = matmBAt + matmN*matmN
+	matmEnd     = matmCAt + matmN*matmN
+)
+
+func matmInputs() (a, b []int32) {
+	a = make([]int32, matmN*matmN)
+	b = make([]int32, matmN*matmN)
+	for i := range a {
+		a[i] = int32((i*7)%23) - 11
+		b[i] = int32((i*13)%29) - 14
+	}
+	return a, b
+}
+
+func matmRef(a, b []int32) []int32 {
+	c := make([]int32, matmN*matmN)
+	for i := 0; i < matmN; i++ {
+		for j := 0; j < matmN; j++ {
+			var acc int32
+			for k := 0; k < matmN; k++ {
+				acc += a[i*matmN+k] * b[k*matmN+j]
+			}
+			c[i*matmN+j] = acc
+		}
+	}
+	return c
+}
+
+// MatM returns the matrix-multiplication kernel.
+func MatM() Kernel {
+	return Kernel{
+		Name: "MatM",
+		Build: func() *cdfg.Graph {
+			b := cdfg.NewBuilder("matm")
+			entry := b.Block("entry")
+			entry.SetSym("i", entry.Const(0))
+			entry.Jump("iloop")
+
+			// Per-row setup: the A-row and C-row base addresses carried as
+			// symbols into the column loop.
+			il := b.Block("iloop")
+			i := il.Sym("i")
+			rowBase := il.MulC(i, matmN)
+			il.SetSym("arow", il.AddC(rowBase, matmAAt))
+			il.SetSym("crow", il.AddC(rowBase, matmCAt))
+			il.SetSym("j", il.Const(0))
+			il.Jump("jloop")
+
+			jl := b.Block("jloop")
+			j := jl.Sym("j")
+			arow := jl.Sym("arow")
+			// The A-row loads are shared between the unrolled j iterations.
+			avs := make([]cdfg.Value, matmN)
+			for k := 0; k < matmN; k++ {
+				avs[k] = jl.Load(jl.AddC(arow, int32(k)))
+			}
+			crow := jl.Sym("crow")
+			for u := 0; u < matmJUnroll; u++ {
+				ju := j
+				if u > 0 {
+					ju = jl.AddC(j, int32(u))
+				}
+				terms := make([]cdfg.Value, matmN)
+				for k := 0; k < matmN; k++ {
+					bv := jl.Load(jl.Add(jl.Const(matmBAt+int32(k*matmN)), ju))
+					terms[k] = jl.Mul(avs[k], bv)
+				}
+				jl.Store(jl.Add(crow, ju), reduceAdd(jl, terms))
+			}
+			j2 := jl.AddC(j, matmJUnroll)
+			jl.SetSym("j", j2)
+			jl.BranchIf(jl.Lt(j2, jl.Const(matmN)), "jloop", "inext")
+
+			in := b.Block("inext")
+			i2 := in.AddC(in.Sym("i"), 1)
+			in.SetSym("i", i2)
+			in.BranchIf(in.Lt(i2, in.Const(matmN)), "iloop", "exit")
+
+			b.Block("exit")
+			return b.Finish()
+		},
+		Init: func() cdfg.Memory {
+			mem := make(cdfg.Memory, matmEnd)
+			a, bb := matmInputs()
+			copy(mem[matmAAt:], a)
+			copy(mem[matmBAt:], bb)
+			return mem
+		},
+		Check: func(mem cdfg.Memory) error {
+			a, b := matmInputs()
+			return checkRegion(mem, matmCAt, matmRef(a, b), "C")
+		},
+	}
+}

@@ -1,0 +1,113 @@
+package kernels
+
+import "repro/internal/cdfg"
+
+// Non-separable filter parameters: a full 7×7 window over an 18×18 image
+// (valid region 12×12), all 49 taps unrolled in the inner body. This is
+// the largest basic block of the suite — the kernel that stresses context
+// memories the hardest, matching its behaviour in the paper's Figs 6–8.
+const (
+	nsepK    = 7
+	nsepW    = 18
+	nsepH    = 18
+	nsepOutW = nsepW - (nsepK - 1)
+	nsepOutH = nsepH - (nsepK - 1)
+	nsepInAt = 0
+	nsepOut  = nsepInAt + nsepW*nsepH
+	nsepEnd  = nsepOut + nsepOutW*nsepOutH
+)
+
+// nsepCoef is an asymmetric 7×7 Q8 kernel (not an outer product, so the
+// filter is genuinely non-separable).
+var nsepCoef = func() [nsepK][nsepK]int32 {
+	var c [nsepK][nsepK]int32
+	for y := 0; y < nsepK; y++ {
+		for x := 0; x < nsepK; x++ {
+			d := abs32(y-nsepK/2) + abs32(x-nsepK/2)
+			c[y][x] = int32(21-3*d) + int32((x*5+y*3)%4) // asymmetric taper
+		}
+	}
+	return c
+}()
+
+func abs32(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func nsepInput() []int32 {
+	img := make([]int32, nsepW*nsepH)
+	for i := range img {
+		img[i] = int32((i*71 + 13) % 256)
+	}
+	return img
+}
+
+func nsepRef(img []int32) []int32 {
+	out := make([]int32, nsepOutW*nsepOutH)
+	for y := 0; y < nsepOutH; y++ {
+		for x := 0; x < nsepOutW; x++ {
+			var acc int32
+			for ky := 0; ky < nsepK; ky++ {
+				for kx := 0; kx < nsepK; kx++ {
+					acc += nsepCoef[ky][kx] * img[(y+ky)*nsepW+(x+kx)]
+				}
+			}
+			out[y*nsepOutW+x] = acc >> 8
+		}
+	}
+	return out
+}
+
+// NonSepFilter returns the non-separable 5×5 filter kernel.
+func NonSepFilter() Kernel {
+	return Kernel{
+		Name: "NonSepFilter",
+		Build: func() *cdfg.Graph {
+			b := cdfg.NewBuilder("nonsepfilter")
+			entry := b.Block("entry")
+			entry.SetSym("y", entry.Const(0))
+			entry.Jump("yloop")
+
+			yl := b.Block("yloop")
+			y := yl.Sym("y")
+			yl.SetSym("inrow", yl.AddC(yl.MulC(y, nsepW), nsepInAt))
+			yl.SetSym("outrow", yl.AddC(yl.MulC(y, nsepOutW), nsepOut))
+			yl.SetSym("x", yl.Const(0))
+			yl.Jump("xloop")
+
+			xl := b.Block("xloop")
+			x := xl.Sym("x")
+			base := xl.Add(xl.Sym("inrow"), x)
+			var terms []cdfg.Value
+			for ky := 0; ky < nsepK; ky++ {
+				for kx := 0; kx < nsepK; kx++ {
+					pv := xl.Load(xl.AddC(base, int32(ky*nsepW+kx)))
+					terms = append(terms, xl.MulC(pv, nsepCoef[ky][kx]))
+				}
+			}
+			xl.Store(xl.Add(xl.Sym("outrow"), x), xl.Sra(reduceAdd(xl, terms), xl.Const(8)))
+			x2 := xl.AddC(x, 1)
+			xl.SetSym("x", x2)
+			xl.BranchIf(xl.Lt(x2, xl.Const(nsepOutW)), "xloop", "ynext")
+
+			yn := b.Block("ynext")
+			y2 := yn.AddC(yn.Sym("y"), 1)
+			yn.SetSym("y", y2)
+			yn.BranchIf(yn.Lt(y2, yn.Const(nsepOutH)), "yloop", "exit")
+
+			b.Block("exit")
+			return b.Finish()
+		},
+		Init: func() cdfg.Memory {
+			mem := make(cdfg.Memory, nsepEnd)
+			copy(mem[nsepInAt:], nsepInput())
+			return mem
+		},
+		Check: func(mem cdfg.Memory) error {
+			return checkRegion(mem, nsepOut, nsepRef(nsepInput()), "out")
+		},
+	}
+}

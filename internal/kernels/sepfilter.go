@@ -1,0 +1,133 @@
+package kernels
+
+import "repro/internal/cdfg"
+
+// Separable filter parameters: a 5×5 Gaussian-like filter applied as a
+// horizontal 5-tap pass into an intermediate buffer followed by a
+// vertical 5-tap pass, over a 16×16 image (valid region 12×12). Two loop
+// nests in one CDFG: more basic blocks and more symbol variables than the
+// single-nest kernels.
+const (
+	sepW    = 16
+	sepH    = 16
+	sepOutW = sepW - 4
+	sepOutH = sepH - 4
+	sepInAt = 0
+	sepTmp  = sepInAt + sepW*sepH   // horizontal pass result: sepOutW × sepH
+	sepOut  = sepTmp + sepOutW*sepH // final: sepOutW × sepOutH
+	sepEnd  = sepOut + sepOutW*sepOutH
+)
+
+var sepCoef = [5]int32{16, 62, 100, 62, 16} // Q8, sums to 256
+
+func sepInput() []int32 {
+	img := make([]int32, sepW*sepH)
+	for i := range img {
+		img[i] = int32((i*53 + 11) % 256)
+	}
+	return img
+}
+
+func sepRef(img []int32) []int32 {
+	tmp := make([]int32, sepOutW*sepH)
+	for y := 0; y < sepH; y++ {
+		for x := 0; x < sepOutW; x++ {
+			var acc int32
+			for k := 0; k < 5; k++ {
+				acc += sepCoef[k] * img[y*sepW+x+k]
+			}
+			tmp[y*sepOutW+x] = acc >> 8
+		}
+	}
+	out := make([]int32, sepOutW*sepOutH)
+	for y := 0; y < sepOutH; y++ {
+		for x := 0; x < sepOutW; x++ {
+			var acc int32
+			for k := 0; k < 5; k++ {
+				acc += sepCoef[k] * tmp[(y+k)*sepOutW+x]
+			}
+			out[y*sepOutW+x] = acc >> 8
+		}
+	}
+	return out
+}
+
+// SepFilter returns the separable-filter kernel.
+func SepFilter() Kernel {
+	return Kernel{
+		Name: "SepFilter",
+		Build: func() *cdfg.Graph {
+			b := cdfg.NewBuilder("sepfilter")
+			entry := b.Block("entry")
+			entry.SetSym("hy", entry.Const(0))
+			entry.Jump("hyloop")
+
+			// Horizontal pass.
+			hyl := b.Block("hyloop")
+			hy := hyl.Sym("hy")
+			hyl.SetSym("hin", hyl.AddC(hyl.MulC(hy, sepW), sepInAt))
+			hyl.SetSym("htmp", hyl.AddC(hyl.MulC(hy, sepOutW), sepTmp))
+			hyl.SetSym("hx", hyl.Const(0))
+			hyl.Jump("hxloop")
+
+			hxl := b.Block("hxloop")
+			hx := hxl.Sym("hx")
+			hbase := hxl.Add(hxl.Sym("hin"), hx)
+			terms := make([]cdfg.Value, 5)
+			for k := 0; k < 5; k++ {
+				pv := hxl.Load(hxl.AddC(hbase, int32(k)))
+				terms[k] = hxl.MulC(pv, sepCoef[k])
+			}
+			hxl.Store(hxl.Add(hxl.Sym("htmp"), hx), hxl.Sra(reduceAdd(hxl, terms), hxl.Const(8)))
+			hx2 := hxl.AddC(hx, 1)
+			hxl.SetSym("hx", hx2)
+			hxl.BranchIf(hxl.Lt(hx2, hxl.Const(sepOutW)), "hxloop", "hynext")
+
+			hyn := b.Block("hynext")
+			hy2 := hyn.AddC(hyn.Sym("hy"), 1)
+			hyn.SetSym("hy", hy2)
+			hyn.BranchIf(hyn.Lt(hy2, hyn.Const(sepH)), "hyloop", "ventry")
+
+			// Vertical pass.
+			ve := b.Block("ventry")
+			ve.SetSym("vy", ve.Const(0))
+			ve.Jump("vyloop")
+
+			vyl := b.Block("vyloop")
+			vy := vyl.Sym("vy")
+			vyl.SetSym("vtmp", vyl.AddC(vyl.MulC(vy, sepOutW), sepTmp))
+			vyl.SetSym("vout", vyl.AddC(vyl.MulC(vy, sepOutW), sepOut))
+			vyl.SetSym("vx", vyl.Const(0))
+			vyl.Jump("vxloop")
+
+			vxl := b.Block("vxloop")
+			vx := vxl.Sym("vx")
+			vbase := vxl.Add(vxl.Sym("vtmp"), vx)
+			vterms := make([]cdfg.Value, 5)
+			for k := 0; k < 5; k++ {
+				pv := vxl.Load(vxl.AddC(vbase, int32(k*sepOutW)))
+				vterms[k] = vxl.MulC(pv, sepCoef[k])
+			}
+			vxl.Store(vxl.Add(vxl.Sym("vout"), vx), vxl.Sra(reduceAdd(vxl, vterms), vxl.Const(8)))
+			vx2 := vxl.AddC(vx, 1)
+			vxl.SetSym("vx", vx2)
+			vxl.BranchIf(vxl.Lt(vx2, vxl.Const(sepOutW)), "vxloop", "vynext")
+
+			vyn := b.Block("vynext")
+			vy2 := vyn.AddC(vyn.Sym("vy"), 1)
+			vyn.SetSym("vy", vy2)
+			vyn.BranchIf(vyn.Lt(vy2, vyn.Const(sepOutH)), "vyloop", "exit")
+
+			b.Block("exit")
+			return b.Finish()
+		},
+		Init: func() cdfg.Memory {
+			mem := make(cdfg.Memory, sepEnd)
+			copy(mem[sepInAt:], sepInput())
+			return mem
+		},
+		Check: func(mem cdfg.Memory) error {
+			return checkRegion(mem, sepOut, sepRef(sepInput()), "out")
+		},
+	}
+}

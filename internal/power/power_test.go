@@ -1,0 +1,115 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+func TestAreaAnchors(t *testing.T) {
+	p := Default()
+	// Anchor 1 (paper §I): a 64-word CM is 40% of the PE area.
+	pe := p.PENonCM + 64*p.CMAreaPerWord
+	share := 64 * p.CMAreaPerWord / pe
+	if share < 0.39 || share > 0.41 {
+		t.Errorf("CM64 share of PE = %.3f, want ≈0.40", share)
+	}
+	// Anchor 2 (Fig 11): HOM64 ≈ 2× the CPU.
+	cpuA := p.CPUArea().Total()
+	hom64 := p.CGRAArea(arch.MustGrid(arch.HOM64)).Total()
+	if r := hom64 / cpuA; r < 1.9 || r > 2.1 {
+		t.Errorf("HOM64/CPU area = %.2f, want ≈2.0", r)
+	}
+	// The heterogeneous configurations sit between the CPU and HOM64.
+	for _, cfg := range []arch.ConfigName{arch.HOM32, arch.HET1, arch.HET2} {
+		a := p.CGRAArea(arch.MustGrid(cfg)).Total()
+		if a >= hom64 || a <= cpuA {
+			t.Errorf("%s area %.0f not between CPU %.0f and HOM64 %.0f", cfg, a, cpuA, hom64)
+		}
+	}
+	// HET1 has more CM than HET2 (Table I), so more area.
+	if p.CGRAArea(arch.MustGrid(arch.HET1)).Total() <= p.CGRAArea(arch.MustGrid(arch.HET2)).Total() {
+		t.Error("HET1 should be larger than HET2")
+	}
+}
+
+func TestFetchAndLeakMonotone(t *testing.T) {
+	p := Default()
+	f := func(a, b uint8) bool {
+		x, y := int(a%120)+1, int(b%120)+1
+		if x > y {
+			x, y = y, x
+		}
+		return p.FetchEnergy(x) <= p.FetchEnergy(y) && p.CMLeak(x) <= p.CMLeak(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if p.CMLeak(0) != 0 {
+		t.Error("zero-size CM should not leak")
+	}
+	// Superlinearity: per-word leak grows with depth.
+	if p.CMLeak(64)/64 <= p.CMLeak(16)/16 {
+		t.Error("CM leak should be superlinear in depth")
+	}
+}
+
+func TestCGRAEnergyScalesWithActivity(t *testing.T) {
+	p := Default()
+	g := arch.MustGrid(arch.HOM64)
+	mk := func(scale int64) *sim.Result {
+		r := &sim.Result{Cycles: 100 * scale, Tiles: make([]sim.TileCounters, 16)}
+		for i := range r.Tiles {
+			r.Tiles[i] = sim.TileCounters{
+				Fetches:  50 * scale,
+				OpCycles: 40 * scale,
+				RFReads:  30 * scale,
+				MemReads: 5 * scale,
+			}
+		}
+		return r
+	}
+	e1 := p.CGRAEnergy(g, mk(1))
+	e2 := p.CGRAEnergy(g, mk(2))
+	if e1.Total() <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	// Config is a constant; everything else doubles.
+	if got, want := e2.Total()-e2.Config, 2*(e1.Total()-e1.Config); !close(got, want) {
+		t.Errorf("activity scaling: %v vs %v", got, want)
+	}
+	if e1.Config != e2.Config {
+		t.Error("config energy must not depend on activity")
+	}
+	// The same activity on a smaller-CM config costs less.
+	eHET := p.CGRAEnergy(arch.MustGrid(arch.HET2), mk(1))
+	if eHET.Total() >= e1.Total() {
+		t.Errorf("HET2 energy %.4f should undercut HOM64 %.4f at equal activity",
+			eHET.Total(), e1.Total())
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestCPUEnergy(t *testing.T) {
+	p := Default()
+	r := &cpu.Result{Cycles: 1000, Instrs: 600, Muls: 50, Loads: 100, Stores: 40, Branches: 60}
+	e := p.CPUEnergy(r)
+	if e.Total() <= 0 || e.Config != 0 || e.Fetch != 0 {
+		t.Errorf("CPU energy breakdown: %+v", e)
+	}
+	r2 := *r
+	r2.Cycles *= 2
+	if p.CPUEnergy(&r2).Total() <= e.Total() {
+		t.Error("more cycles must cost more leakage")
+	}
+}

@@ -1,0 +1,92 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// vecAddGraph builds: for i in [0,n): mem[2n+i] = mem[i] + mem[n+i].
+func vecAddGraph(n int32) *cdfg.Graph {
+	b := cdfg.NewBuilder("vecadd")
+	entry := b.Block("entry")
+	entry.SetSym("i", entry.Const(0))
+	entry.Jump("loop")
+
+	loop := b.Block("loop")
+	i := loop.Sym("i")
+	a := loop.Load(i)
+	c := loop.Load(loop.AddC(i, n))
+	s := loop.Add(a, c)
+	loop.Store(loop.AddC(i, 2*n), s)
+	i2 := loop.AddC(i, 1)
+	loop.SetSym("i", i2)
+	loop.BranchIf(loop.Lt(i2, loop.Const(n)), "loop", "exit")
+
+	b.Block("exit")
+	return b.Finish()
+}
+
+func vecAddMem(n int32) cdfg.Memory {
+	mem := make(cdfg.Memory, 3*n)
+	for i := int32(0); i < n; i++ {
+		mem[i] = 3 * i
+		mem[n+i] = 1000 - i
+	}
+	return mem
+}
+
+// TestEndToEndVecAdd maps, assembles and simulates a small loop kernel on
+// every configuration and flow, verifying the final data memory against
+// the reference interpreter.
+func TestEndToEndVecAdd(t *testing.T) {
+	const n = 16
+	g := vecAddGraph(n)
+	for _, cfg := range arch.ConfigNames() {
+		grid := arch.MustGrid(cfg)
+		for _, flow := range core.Flows() {
+			if flow == core.FlowBasic && cfg != arch.HOM64 {
+				continue // the basic flow is only guaranteed to fit HOM64
+			}
+			t.Run(string(cfg)+"/"+flow.String(), func(t *testing.T) {
+				m, err := core.Map(g, grid, core.DefaultOptions(flow))
+				if err != nil {
+					t.Fatalf("Map: %v", err)
+				}
+				if err := m.Validate(); err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				prog, err := asm.Assemble(m)
+				if err != nil {
+					t.Fatalf("Assemble: %v", err)
+				}
+				if flow != core.FlowBasic {
+					if ok, tile := prog.FitsMemory(); !ok {
+						t.Fatalf("context overflow on tile %d", tile+1)
+					}
+				}
+				s, err := sim.New(prog)
+				if err != nil {
+					t.Fatalf("sim.New: %v", err)
+				}
+				res, _, mem, err := s.RunVerified(vecAddMem(n))
+				if err != nil {
+					t.Fatalf("RunVerified: %v", err)
+				}
+				if res.Cycles <= 0 {
+					t.Fatalf("no cycles simulated")
+				}
+				for i := int32(0); i < n; i++ {
+					want := 3*i + 1000 - i
+					if mem[2*n+i] != want {
+						t.Fatalf("c[%d] = %d, want %d", i, mem[2*n+i], want)
+					}
+				}
+			})
+		}
+	}
+}

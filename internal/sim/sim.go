@@ -1,0 +1,284 @@
+// Package sim is the cycle-accurate functional simulator of the CGRA. It
+// executes assembled per-tile contexts in lockstep, modeling the torus
+// operand network (neighbor output-register reads), register files,
+// constant files, the logarithmic interconnect's global stalls, pnop
+// clock gating, and per-block control transfer with branch broadcast.
+//
+// The simulator both produces the latency numbers of the paper's
+// evaluation and functionally validates mappings: the data memory after a
+// run must equal the memory after interpreting the CDFG directly.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/cdfg"
+	"repro/internal/interconnect"
+	"repro/internal/isa"
+)
+
+// TileCounters aggregates per-tile activity for the energy model.
+type TileCounters struct {
+	// Fetches counts context words fetched (ops + moves + pnop words);
+	// during a pnop's idle cycles the context memory is not re-read.
+	Fetches int64
+	// OpCycles and MoveCycles count cycles spent executing operations and
+	// moves respectively.
+	OpCycles   int64
+	MoveCycles int64
+	// IdleCycles counts clock-gated pnop cycles.
+	IdleCycles int64
+	// RFReads/RFWrites count regular-register-file accesses.
+	RFReads  int64
+	RFWrites int64
+	// CRFReads counts constant-register-file reads.
+	CRFReads int64
+	// MemReads/MemWrites count data-memory accesses through the LSU.
+	MemReads  int64
+	MemWrites int64
+}
+
+// Result is one simulated execution.
+type Result struct {
+	// Cycles is the total execution time including stalls (and excluding
+	// configuration, reported separately).
+	Cycles int64
+	// StallCycles are global stalls from memory conflicts.
+	StallCycles int64
+	// ConfigWords is the total context-memory words loaded before
+	// execution (the one-time configuration of the loosely coupled CGRA).
+	ConfigWords int
+	// BlockExecs counts executions per basic block.
+	BlockExecs map[cdfg.BBID]int64
+	// Tiles holds per-tile activity counters.
+	Tiles []TileCounters
+}
+
+// MaxCycles bounds a simulation so broken control flow cannot spin
+// forever.
+const MaxCycles = 500_000_000
+
+// tileState is a tile's architectural state.
+type tileState struct {
+	rf  []int32
+	out int32
+}
+
+// Sim is a reusable simulator instance for one program.
+type Sim struct {
+	prog *asm.Program
+	net  *interconnect.Model
+	// expanded[bb][tile] is the per-cycle instruction grid (nil = idle),
+	// decoded once from the segments.
+	expanded [][][]*isa.Instr
+}
+
+// New prepares a simulator for the program.
+func New(p *asm.Program) (*Sim, error) {
+	s := &Sim{prog: p, net: interconnect.New(p.Grid)}
+	nb := len(p.Graph.Blocks)
+	s.expanded = make([][][]*isa.Instr, nb)
+	for bb := 0; bb < nb; bb++ {
+		s.expanded[bb] = make([][]*isa.Instr, p.Grid.NumTiles())
+		for t := range s.expanded[bb] {
+			grid, err := expand(&p.Tiles[t].Segments[bb], p.BlockLens[bb])
+			if err != nil {
+				return nil, fmt.Errorf("sim: tile %d block %q: %w", t+1, p.Graph.Blocks[bb].Name, err)
+			}
+			s.expanded[bb][t] = grid
+		}
+	}
+	return s, nil
+}
+
+// expand unrolls a segment's pnop words into idle cycles.
+func expand(seg *asm.Segment, blockLen int) ([]*isa.Instr, error) {
+	grid := make([]*isa.Instr, 0, blockLen)
+	for i := range seg.Instrs {
+		in := &seg.Instrs[i]
+		if in.Kind == isa.KPnop {
+			for k := 0; k < in.Count; k++ {
+				grid = append(grid, nil)
+			}
+		} else {
+			grid = append(grid, in)
+		}
+	}
+	if len(grid) != blockLen {
+		return nil, fmt.Errorf("segment spans %d cycles, block is %d", len(grid), blockLen)
+	}
+	return grid, nil
+}
+
+// Run executes the program against the memory (modified in place).
+func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
+	p := s.prog
+	n := p.Grid.NumTiles()
+	res := &Result{
+		BlockExecs:  map[cdfg.BBID]int64{},
+		Tiles:       make([]TileCounters, n),
+		ConfigWords: p.TotalWords(),
+	}
+	tiles := make([]tileState, n)
+	for t := range tiles {
+		tiles[t].rf = make([]int32, p.Grid.RRFSize)
+	}
+	// Count the one-time fetch per pnop word and every op/move fetch as
+	// the block executes; configuration fetches are ConfigWords.
+
+	cur := p.Graph.Entry
+	newOut := make([]int32, n)
+	hasOut := make([]bool, n)
+	var accs []interconnect.Access
+	type memOp struct {
+		tile  int
+		load  bool
+		addr  int32
+		value int32 // store data
+	}
+	var memOps []memOp
+
+	for {
+		if res.Cycles > MaxCycles {
+			return res, fmt.Errorf("sim: exceeded %d cycles in %q", MaxCycles, p.Graph.Name)
+		}
+		b := p.Graph.Blocks[cur]
+		res.BlockExecs[cur]++
+		grid := s.expanded[cur]
+		blockLen := p.BlockLens[cur]
+		branchTaken := false
+		// Track pnop entry: a tile fetches the pnop word on its first
+		// idle cycle after an instruction (or at block start).
+		prevIdle := make([]bool, n)
+
+		for c := 0; c < blockLen; c++ {
+			accs = accs[:0]
+			memOps = memOps[:0]
+			for t := 0; t < n; t++ {
+				hasOut[t] = false
+				in := grid[t][c]
+				tc := &res.Tiles[t]
+				if in == nil {
+					if !prevIdle[t] {
+						tc.Fetches++ // the pnop word itself
+					}
+					prevIdle[t] = true
+					tc.IdleCycles++
+					continue
+				}
+				prevIdle[t] = false
+				tc.Fetches++
+				vals, err := s.readSrcs(p, tiles, t, in, tc)
+				if err != nil {
+					return res, fmt.Errorf("sim: block %q cycle %d tile %d: %w", b.Name, c, t+1, err)
+				}
+				switch {
+				case in.Kind == isa.KMove:
+					tc.MoveCycles++
+					newOut[t] = vals[0]
+					hasOut[t] = true
+				case in.Op == cdfg.OpLoad:
+					tc.OpCycles++
+					memOps = append(memOps, memOp{tile: t, load: true, addr: vals[0]})
+					accs = append(accs, interconnect.Access{Tile: arch.TileID(t), Addr: vals[0]})
+				case in.Op == cdfg.OpStore:
+					tc.OpCycles++
+					memOps = append(memOps, memOp{tile: t, addr: vals[0], value: vals[1]})
+					accs = append(accs, interconnect.Access{Tile: arch.TileID(t), Addr: vals[0], Store: true})
+				case in.Op == cdfg.OpBr:
+					tc.OpCycles++
+					branchTaken = vals[0] != 0
+				default:
+					tc.OpCycles++
+					v, err := cdfg.EvalOp(in.Op, vals)
+					if err != nil {
+						return res, fmt.Errorf("sim: block %q cycle %d tile %d: %w", b.Name, c, t+1, err)
+					}
+					newOut[t] = v
+					hasOut[t] = true
+				}
+			}
+			// Memory service: loads observe pre-cycle memory, stores
+			// commit at end of cycle; conflicts stall the whole array.
+			stalls := s.net.Stalls(accs)
+			res.StallCycles += int64(stalls)
+			res.Cycles += int64(1 + stalls)
+			for _, mo := range memOps {
+				tc := &res.Tiles[mo.tile]
+				if mo.load {
+					v, err := mem.Load(mo.addr)
+					if err != nil {
+						return res, fmt.Errorf("sim: block %q cycle %d tile %d: %w", b.Name, c, mo.tile+1, err)
+					}
+					newOut[mo.tile] = v
+					hasOut[mo.tile] = true
+					tc.MemReads++
+				} else {
+					tc.MemWrites++
+				}
+			}
+			for _, mo := range memOps {
+				if !mo.load {
+					if err := mem.Store(mo.addr, mo.value); err != nil {
+						return res, fmt.Errorf("sim: block %q cycle %d tile %d: %w", b.Name, c, mo.tile+1, err)
+					}
+				}
+			}
+			// Commit output registers and writebacks.
+			for t := 0; t < n; t++ {
+				in := grid[t][c]
+				if in == nil {
+					continue
+				}
+				if hasOut[t] {
+					tiles[t].out = newOut[t]
+					if in.WB {
+						tiles[t].rf[in.WReg] = newOut[t]
+						res.Tiles[t].RFWrites++
+					}
+				}
+			}
+		}
+		switch {
+		case b.HasBranch():
+			if branchTaken {
+				cur = b.Succs[0]
+			} else {
+				cur = b.Succs[1]
+			}
+		case len(b.Succs) == 1:
+			cur = b.Succs[0]
+		default:
+			return res, nil
+		}
+	}
+}
+
+// readSrcs resolves an instruction's operands against pre-cycle state.
+func (s *Sim) readSrcs(p *asm.Program, tiles []tileState, t int, in *isa.Instr, tc *TileCounters) ([]int32, error) {
+	vals := make([]int32, in.NSrc)
+	for i := 0; i < in.NSrc; i++ {
+		src := in.Srcs[i]
+		switch src.Kind {
+		case isa.SrcConst:
+			vals[i] = src.Val
+			tc.CRFReads++
+		case isa.SrcReg:
+			if int(src.Reg) >= len(tiles[t].rf) {
+				return nil, fmt.Errorf("register r%d out of range", src.Reg)
+			}
+			vals[i] = tiles[t].rf[src.Reg]
+			tc.RFReads++
+		case isa.SrcSelf:
+			vals[i] = tiles[t].out
+		case isa.SrcNbr:
+			nb := p.Grid.Neighbors(arch.TileID(t))[src.Dir]
+			vals[i] = tiles[nb].out
+		default:
+			return nil, fmt.Errorf("operand %d unset", i)
+		}
+	}
+	return vals, nil
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cdfg"
+)
+
+// RunVerified executes the program on a copy of the initial memory and
+// cross-checks the final data memory against the CDFG reference
+// interpreter run on another copy. It returns the simulation result, the
+// interpreter trace (useful as an execution profile), and the verified
+// final memory. Any divergence is a mapping or simulator bug and is
+// returned as an error.
+func (s *Sim) RunVerified(initial cdfg.Memory) (*Result, *cdfg.Trace, cdfg.Memory, error) {
+	ref := initial.Clone()
+	tr, err := cdfg.Interp(s.prog.Graph, ref)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("sim: reference interpretation: %w", err)
+	}
+	got := initial.Clone()
+	res, err := s.Run(got)
+	if err != nil {
+		return res, tr, nil, err
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			return res, tr, nil, fmt.Errorf("sim: memory mismatch for %q at word %d: interpreter %d, CGRA %d",
+				s.prog.Graph.Name, i, ref[i], got[i])
+		}
+	}
+	return res, tr, got, nil
+}

@@ -1,0 +1,130 @@
+// Package trace renders the experiment results as fixed-width text
+// tables and ASCII bar charts, the repository's equivalent of the paper's
+// figure plots.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are rendered with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteString("\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// Bars renders a labeled horizontal ASCII bar chart. Values are scaled so
+// the longest bar spans width characters; a zero value renders as "(no
+// mapping)" to match the paper's missing bars.
+func Bars(title string, width int, labels []string, values []float64) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteString("\n")
+	maxv := 0.0
+	maxl := 0
+	for i, v := range values {
+		if v > maxv {
+			maxv = v
+		}
+		if len(labels[i]) > maxl {
+			maxl = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		fmt.Fprintf(&sb, "  %-*s ", maxl, labels[i])
+		if v <= 0 {
+			sb.WriteString("(no mapping)\n")
+			continue
+		}
+		n := 1
+		if maxv > 0 {
+			n = int(v / maxv * float64(width))
+			if n < 1 {
+				n = 1
+			}
+		}
+		sb.WriteString(strings.Repeat("#", n))
+		fmt.Fprintf(&sb, " %.3f\n", v)
+	}
+	return sb.String()
+}
+
+// Utilization renders per-tile context-memory occupancy like the paper's
+// Fig 2: one row per tile with a bar of used/capacity.
+func Utilization(title string, used []int, capacity []int) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteString("\n")
+	const width = 40
+	for i := range used {
+		frac := float64(used[i]) / float64(capacity[i])
+		n := int(frac * width)
+		if n > width {
+			n = width
+		}
+		fmt.Fprintf(&sb, "  tile %2d [%-*s] %3d/%d (%.0f%%)\n",
+			i+1, width, strings.Repeat("#", n), used[i], capacity[i], frac*100)
+	}
+	return sb.String()
+}

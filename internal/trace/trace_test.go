@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable(t *testing.T) {
+	tb := NewTable("title", "a", "bbbb", "c")
+	tb.Add("x", 1, 2.5)
+	tb.Add("longer", "y", "z")
+	s := tb.String()
+	if !strings.HasPrefix(s, "title\n") {
+		t.Errorf("missing title: %q", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[1], "bbbb") || !strings.Contains(lines[3], "2.500") {
+		t.Errorf("formatting:\n%s", s)
+	}
+}
+
+func TestBars(t *testing.T) {
+	s := Bars("chart", 10, []string{"one", "two", "none"}, []float64{1, 2, 0})
+	if !strings.Contains(s, "(no mapping)") {
+		t.Error("zero value should render as no mapping")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	count := func(l string) int { return strings.Count(l, "#") }
+	if count(lines[2]) <= count(lines[1]) {
+		t.Errorf("larger value should have a longer bar:\n%s", s)
+	}
+	if count(lines[2]) != 10 {
+		t.Errorf("max bar should span the width:\n%s", s)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := Utilization("u", []int{32, 0}, []int{64, 16})
+	if !strings.Contains(s, "32/64 (50%)") || !strings.Contains(s, "0/16 (0%)") {
+		t.Errorf("utilization rendering:\n%s", s)
+	}
+}
