@@ -1,0 +1,32 @@
+# Developer entry points. `make ci` is what the scripts/ci.sh pipeline
+# runs: vet + build + tests + race-detector pass.
+
+GO ?= go
+
+.PHONY: build vet test test-short test-race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# The portfolio mapper, the exp runner's prefetch pool, and their tests
+# share real state across goroutines; run them under the race detector.
+# Race instrumentation slows the mapping matrix ~4-5x, so the per-package
+# timeout must be raised past the 10m default.
+test-race:
+	$(GO) vet ./...
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -bench . -run NONE ./...
+
+ci:
+	./scripts/ci.sh

@@ -6,12 +6,18 @@
 //	cgrabench             # the whole evaluation
 //	cgrabench -fig 6      # one figure (2, 5, 6, 7, 8, 9, 10, 11)
 //	cgrabench -table 2    # Table II
+//	cgrabench -parallel 4 # bound the evaluation worker pool
+//
+// Cells fan out across a worker pool (default: one worker per CPU); the
+// rendered tables are byte-identical at any parallelism.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -20,22 +26,24 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (2, 5, 6, 7, 8, 9, 10, 11); 0 = all")
 	table := flag.Int("table", 0, "regenerate one table (2); 0 = all")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "evaluation worker pool size (1 = serial)")
 	flag.Parse()
 
 	r := exp.NewRunner()
-	if err := run(r, *fig, *table); err != nil {
+	r.Workers = *parallel
+	if err := run(os.Stdout, r, *fig, *table); err != nil {
 		fmt.Fprintln(os.Stderr, "cgrabench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(r *exp.Runner, fig, table int) error {
+func run(w io.Writer, r *exp.Runner, fig, table int) error {
 	if fig == 0 && table == 0 {
 		out, err := r.RenderAll()
 		if err != nil {
 			return err
 		}
-		fmt.Println(out)
+		fmt.Fprintln(w, out)
 		return nil
 	}
 	if table == 2 {
@@ -43,7 +51,7 @@ func run(r *exp.Runner, fig, table int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(t.Render())
+		fmt.Fprint(w, t.Render())
 		return nil
 	}
 	switch fig {
@@ -52,38 +60,38 @@ func run(r *exp.Runner, fig, table int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(f.Render())
+		fmt.Fprint(w, f.Render())
 	case 5:
 		f, err := r.RunFig5()
 		if err != nil {
 			return err
 		}
-		fmt.Print(f.Render())
+		fmt.Fprint(w, f.Render())
 	case 6, 7, 8:
 		flow := map[int]core.Flow{6: core.FlowACMAP, 7: core.FlowECMAP, 8: core.FlowCAB}[fig]
 		f, err := r.RunLatencyFig(flow)
 		if err != nil {
 			return err
 		}
-		fmt.Print(f.Render())
+		fmt.Fprint(w, f.Render())
 	case 9:
 		f, err := r.RunFig9()
 		if err != nil {
 			return err
 		}
-		fmt.Print(f.Render())
+		fmt.Fprint(w, f.Render())
 	case 10:
 		f, err := r.RunFig10()
 		if err != nil {
 			return err
 		}
-		fmt.Print(f.Render())
+		fmt.Fprint(w, f.Render())
 	case 11:
 		f, err := r.RunFig11()
 		if err != nil {
 			return err
 		}
-		fmt.Print(f.Render())
+		fmt.Fprint(w, f.Render())
 	default:
 		return fmt.Errorf("unknown figure %d", fig)
 	}

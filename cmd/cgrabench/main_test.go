@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+func TestRunFig11Smoke(t *testing.T) {
+	var sb strings.Builder
+	r := exp.NewRunner()
+	if err := run(&sb, r, 11, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig 11", "CPU", "HOM64", "HET2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps MatM")
+	}
+	var sb strings.Builder
+	r := exp.NewRunner()
+	if err := run(&sb, r, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig 2") || !strings.Contains(sb.String(), "mean occupancy") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, exp.NewRunner(), 42, 0); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+// TestBuiltBinary builds the real binary and regenerates the cheapest
+// figure (11: area only, no mapping), asserting exit code 0.
+func TestBuiltBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := t.TempDir() + "/cgrabench"
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-fig", "11").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cgrabench exited non-zero: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Fig 11") {
+		t.Errorf("stdout misses %q:\n%s", "Fig 11", out)
+	}
+}

@@ -2,15 +2,24 @@
 // with a selected mapping flow and reports the mapping statistics: per-
 // tile context-memory occupancy, instruction mix, and compile time.
 //
+// With -seeds N > 1 it runs a parallel portfolio: N pruning seeds are
+// mapped concurrently and the best mapping wins (fewest context words,
+// ties broken by estimated energy, then by the lowest seed — the winner
+// is deterministic regardless of scheduling).
+//
 // Usage:
 //
 //	cgramap -kernel MatM -config HET1 -flow cab [-listing] [-dot]
+//	cgramap -kernel MatM -config HET1 -seeds 8 [-parallel 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/arch"
@@ -18,19 +27,35 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/power"
 	"repro/internal/trace"
 )
 
+// cliOptions collects the flag values so tests can drive run directly.
+type cliOptions struct {
+	kernel   string
+	config   string
+	flow     string
+	listing  bool
+	dot      bool
+	seed     int64
+	seeds    int
+	parallel int
+}
+
 func main() {
-	kernel := flag.String("kernel", "FIR", "kernel name: "+strings.Join(kernels.Names(), ", "))
-	config := flag.String("config", "HOM64", "CGRA configuration: HOM64, HOM32, HET1, HET2")
-	flow := flag.String("flow", "cab", "mapping flow: basic, acmap, ecmap, cab")
-	listing := flag.Bool("listing", false, "print the per-tile context disassembly")
-	dot := flag.Bool("dot", false, "print the kernel CDFG in Graphviz DOT form and exit")
-	seed := flag.Int64("seed", 1, "stochastic pruning seed")
+	var o cliOptions
+	flag.StringVar(&o.kernel, "kernel", "FIR", "kernel name: "+strings.Join(kernels.Names(), ", "))
+	flag.StringVar(&o.config, "config", "HOM64", "CGRA configuration: HOM64, HOM32, HET1, HET2")
+	flag.StringVar(&o.flow, "flow", "cab", "mapping flow: basic, acmap, ecmap, cab")
+	flag.BoolVar(&o.listing, "listing", false, "print the per-tile context disassembly")
+	flag.BoolVar(&o.dot, "dot", false, "print the kernel CDFG in Graphviz DOT form and exit")
+	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
+	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
+	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
 	flag.Parse()
 
-	if err := run(*kernel, *config, *flow, *listing, *dot, *seed); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "cgramap:", err)
 		os.Exit(1)
 	}
@@ -50,51 +75,72 @@ func parseFlow(s string) (core.Flow, error) {
 	return 0, fmt.Errorf("unknown flow %q", s)
 }
 
-func run(kernel, config, flowName string, listing, dot bool, seed int64) error {
-	k, err := kernels.ByName(kernel)
+func run(w io.Writer, o cliOptions) error {
+	k, err := kernels.ByName(o.kernel)
 	if err != nil {
 		return err
 	}
 	g := k.Build()
-	if dot {
-		fmt.Println(cdfg.Dot(g))
+	if o.dot {
+		fmt.Fprintln(w, cdfg.Dot(g))
 		return nil
 	}
-	fl, err := parseFlow(flowName)
+	fl, err := parseFlow(o.flow)
 	if err != nil {
 		return err
 	}
-	grid, err := arch.NewGrid(arch.ConfigName(strings.ToUpper(config)))
+	grid, err := arch.NewGrid(arch.ConfigName(strings.ToUpper(o.config)))
 	if err != nil {
 		return err
 	}
 	opt := core.DefaultOptions(fl)
-	opt.Seed = seed
-	m, err := core.Map(g, grid, opt)
-	if err != nil {
-		return err
+	opt.Seed = o.seed
+	var m *core.Mapping
+	if o.seeds > 1 {
+		res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{
+			NumSeeds:  o.seeds,
+			Workers:   o.parallel,
+			Objective: power.PortfolioObjective(power.Default()),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.RenderReports())
+		fmt.Fprintf(w, "portfolio wall time %s\n", res.Wall.Round(1_000_000))
+		m = res.Mapping
+	} else {
+		m, err = core.Map(g, grid, opt)
+		if err != nil {
+			return err
+		}
 	}
-	fmt.Printf("mapped %s onto %s with %s in %s\n", kernel, grid.Name, fl, m.Stats.CompileTime.Round(1_000_000))
-	fmt.Printf("ops %d, moves %d, pnops %d; partials explored %d (ACMAP pruned %d, ECMAP pruned %d, stochastic %d)\n",
+	fmt.Fprintf(w, "mapped %s onto %s with %s in %s\n", o.kernel, grid.Name, fl, m.Stats.CompileTime.Round(1_000_000))
+	fmt.Fprintf(w, "ops %d, moves %d, pnops %d; partials explored %d (ACMAP pruned %d, ECMAP pruned %d, stochastic %d)\n",
 		m.TotalOps(), m.TotalMoves(), m.TotalPnops(),
 		m.Stats.Partials, m.Stats.PrunedACMAP, m.Stats.PrunedECMAP, m.Stats.PrunedStochastic)
 	caps := make([]int, grid.NumTiles())
 	for i := range caps {
 		caps[i] = grid.Tile(arch.TileID(i)).CMWords
 	}
-	fmt.Print(trace.Utilization("context-memory occupancy:", m.TileWords(), caps))
+	fmt.Fprint(w, trace.Utilization("context-memory occupancy:", m.TileWords(), caps))
 	if ok, t := m.FitsMemory(); !ok {
-		fmt.Printf("WARNING: tile %d overflows its context memory — this mapping cannot run on %s\n", t+1, grid.Name)
+		fmt.Fprintf(w, "WARNING: tile %d overflows its context memory — this mapping cannot run on %s\n", t+1, grid.Name)
 	}
-	for s, h := range m.SymHomes {
-		fmt.Printf("symbol %-8s -> tile %d r%d\n", s, h.Tile+1, h.Reg)
+	syms := make([]string, 0, len(m.SymHomes))
+	for s := range m.SymHomes {
+		syms = append(syms, s)
 	}
-	if listing {
+	sort.Strings(syms)
+	for _, s := range syms {
+		h := m.SymHomes[s]
+		fmt.Fprintf(w, "symbol %-8s -> tile %d r%d\n", s, h.Tile+1, h.Reg)
+	}
+	if o.listing {
 		prog, err := asm.Assemble(m)
 		if err != nil {
 			return err
 		}
-		fmt.Print(asm.Listing(prog))
+		fmt.Fprint(w, asm.Listing(prog))
 	}
 	return nil
 }

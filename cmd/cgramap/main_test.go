@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestRunFIRSmoke(t *testing.T) {
+	var sb strings.Builder
+	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, seeds: 1}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"mapped FIR onto HOM32",
+		"context-memory occupancy:",
+		"tile 16",
+		"symbol",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Errorf("CAB mapping of FIR on HOM32 must fit:\n%s", out)
+	}
+}
+
+func TestRunPortfolioSmoke(t *testing.T) {
+	var sb strings.Builder
+	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, seeds: 3, parallel: 2}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"portfolio: 3 seeds", "<- winner", "portfolio wall time", "mapped FIR onto HOM32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDotAndListing(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, cliOptions{kernel: "FIR", dot: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") {
+		t.Errorf("dot output:\n%s", sb.String())
+	}
+	sb.Reset()
+	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, listing: true}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tile") {
+		t.Errorf("listing output:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var sb strings.Builder
+	for _, o := range []cliOptions{
+		{kernel: "nope", config: "HOM64", flow: "cab"},
+		{kernel: "FIR", config: "HOM65", flow: "cab"},
+		{kernel: "FIR", config: "HOM64", flow: "quantum"},
+	} {
+		if err := run(&sb, o); err == nil {
+			t.Errorf("%+v should fail", o)
+		}
+	}
+}
+
+// TestBuiltBinary builds the real binary and runs it on FIR with a tiny
+// config, asserting exit code 0 and the expected stanzas on stdout — the
+// end-to-end path including flag parsing.
+func TestBuiltBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := t.TempDir() + "/cgramap"
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-kernel", "FIR", "-config", "HOM32", "-flow", "cab", "-seeds", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cgramap exited non-zero: %v\n%s", err, out)
+	}
+	for _, want := range []string{"portfolio: 2 seeds", "mapped FIR onto HOM32"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("stdout misses %q:\n%s", want, out)
+		}
+	}
+}

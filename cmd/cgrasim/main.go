@@ -3,14 +3,20 @@
 // and the CDFG interpreter, and reports latency and energy, optionally
 // next to the or1k CPU baseline.
 //
+// With -seeds N > 1 the mapping step runs a parallel seed portfolio and
+// simulates the deterministic winner (fewest context words, ties broken
+// by estimated energy, then the lowest seed).
+//
 // Usage:
 //
-//	cgrasim -kernel FFT -config HET1 -flow cab [-cpu]
+//	cgrasim -kernel FFT -config HET1 -flow cab [-cpu] [-seeds 8] [-parallel 4]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,26 +29,41 @@ import (
 	"repro/internal/sim"
 )
 
+// cliOptions collects the flag values so tests can drive run directly.
+type cliOptions struct {
+	kernel   string
+	config   string
+	flow     string
+	withCPU  bool
+	seed     int64
+	seeds    int
+	parallel int
+}
+
 func main() {
-	kernel := flag.String("kernel", "FIR", "kernel name: "+strings.Join(kernels.Names(), ", "))
-	config := flag.String("config", "HOM64", "CGRA configuration: HOM64, HOM32, HET1, HET2")
-	flowName := flag.String("flow", "cab", "mapping flow: basic, acmap, ecmap, cab")
-	withCPU := flag.Bool("cpu", false, "also run the or1k CPU baseline")
+	var o cliOptions
+	flag.StringVar(&o.kernel, "kernel", "FIR", "kernel name: "+strings.Join(kernels.Names(), ", "))
+	flag.StringVar(&o.config, "config", "HOM64", "CGRA configuration: HOM64, HOM32, HET1, HET2")
+	flag.StringVar(&o.flow, "flow", "cab", "mapping flow: basic, acmap, ecmap, cab")
+	flag.BoolVar(&o.withCPU, "cpu", false, "also run the or1k CPU baseline")
+	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
+	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
+	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
 	flag.Parse()
 
-	if err := run(*kernel, *config, *flowName, *withCPU); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "cgrasim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel, config, flowName string, withCPU bool) error {
-	k, err := kernels.ByName(kernel)
+func run(w io.Writer, o cliOptions) error {
+	k, err := kernels.ByName(o.kernel)
 	if err != nil {
 		return err
 	}
 	var flow core.Flow
-	switch strings.ToLower(flowName) {
+	switch strings.ToLower(o.flow) {
 	case "basic":
 		flow = core.FlowBasic
 	case "acmap":
@@ -52,16 +73,32 @@ func run(kernel, config, flowName string, withCPU bool) error {
 	case "cab", "full", "aware":
 		flow = core.FlowCAB
 	default:
-		return fmt.Errorf("unknown flow %q", flowName)
+		return fmt.Errorf("unknown flow %q", o.flow)
 	}
-	grid, err := arch.NewGrid(arch.ConfigName(strings.ToUpper(config)))
+	grid, err := arch.NewGrid(arch.ConfigName(strings.ToUpper(o.config)))
 	if err != nil {
 		return err
 	}
 	g := k.Build()
-	m, err := core.Map(g, grid, core.DefaultOptions(flow))
-	if err != nil {
-		return err
+	opt := core.DefaultOptions(flow)
+	opt.Seed = o.seed
+	var m *core.Mapping
+	if o.seeds > 1 {
+		res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{
+			NumSeeds:  o.seeds,
+			Workers:   o.parallel,
+			Objective: power.PortfolioObjective(power.Default()),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, res.RenderReports())
+		m = res.Mapping
+	} else {
+		m, err = core.Map(g, grid, opt)
+		if err != nil {
+			return err
+		}
 	}
 	if ok, t := m.FitsMemory(); !ok {
 		return fmt.Errorf("mapping overflows tile %d's context memory on %s", t+1, grid.Name)
@@ -83,12 +120,12 @@ func run(kernel, config, flowName string, withCPU bool) error {
 	}
 	params := power.Default()
 	e := params.CGRAEnergy(grid, res)
-	fmt.Printf("%s on %s (%s): verified OK\n", kernel, grid.Name, flow)
-	fmt.Printf("cycles %d (stalls %d), context words %d (config), compile %s\n",
+	fmt.Fprintf(w, "%s on %s (%s): verified OK\n", o.kernel, grid.Name, flow)
+	fmt.Fprintf(w, "cycles %d (stalls %d), context words %d (config), compile %s\n",
 		res.Cycles, res.StallCycles, res.ConfigWords, m.Stats.CompileTime.Round(1_000_000))
-	fmt.Printf("energy %.4f µJ (config %.4f, fetch %.4f, compute %.4f, memory %.4f, leak %.4f)\n",
+	fmt.Fprintf(w, "energy %.4f µJ (config %.4f, fetch %.4f, compute %.4f, memory %.4f, leak %.4f)\n",
 		e.Total(), e.Config, e.Fetch, e.Compute, e.Memory, e.Leak)
-	if withCPU {
+	if o.withCPU {
 		cmem := k.Init()
 		cres, err := cpu.Run(g, cmem, cpu.DefaultCosts())
 		if err != nil {
@@ -98,7 +135,7 @@ func run(kernel, config, flowName string, withCPU bool) error {
 			return fmt.Errorf("CPU golden check failed: %w", err)
 		}
 		ce := params.CPUEnergy(cres)
-		fmt.Printf("or1k CPU: %d cycles, %d instrs, %.4f µJ — CGRA speedup %.1fx, energy gain %.1fx\n",
+		fmt.Fprintf(w, "or1k CPU: %d cycles, %d instrs, %.4f µJ — CGRA speedup %.1fx, energy gain %.1fx\n",
 			cres.Cycles, cres.Instrs, ce.Total(),
 			float64(cres.Cycles)/float64(res.Cycles), ce.Total()/e.Total())
 	}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestRunFIRSmoke(t *testing.T) {
+	var sb strings.Builder
+	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, seeds: 1}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FIR on HOM32", "verified OK", "cycles", "energy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPortfolioWithCPUBaseline(t *testing.T) {
+	var sb strings.Builder
+	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, seeds: 3, parallel: 2, withCPU: true}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"portfolio: 3 seeds", "<- winner", "verified OK", "or1k CPU", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var sb strings.Builder
+	for _, o := range []cliOptions{
+		{kernel: "nope", config: "HOM64", flow: "cab"},
+		{kernel: "FIR", config: "HOM65", flow: "cab"},
+		{kernel: "FIR", config: "HOM64", flow: "quantum"},
+	} {
+		if err := run(&sb, o); err == nil {
+			t.Errorf("%+v should fail", o)
+		}
+	}
+}
+
+// TestBuiltBinary builds the real binary and runs FIR end to end on a
+// tiny config, asserting exit code 0 and the expected stanzas.
+func TestBuiltBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := t.TempDir() + "/cgrasim"
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-kernel", "FIR", "-config", "HOM32", "-flow", "cab").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cgrasim exited non-zero: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "verified OK") {
+		t.Errorf("stdout misses %q:\n%s", "verified OK", out)
+	}
+}

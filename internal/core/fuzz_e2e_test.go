@@ -67,6 +67,49 @@ func randomProgram(rng *rand.Rand) (*cdfg.Graph, cdfg.Memory) {
 	return g, mem
 }
 
+// FuzzEndToEnd is the native-fuzzing entry to the end-to-end harness
+// below: map, assemble, simulate, and compare the final data memory with
+// the reference interpreter bit for bit. The checked-in corpus under
+// testdata/fuzz/FuzzEndToEnd holds seeds whose programs are known to map
+// and verify on each flow, so short CI runs replay full
+// map→assemble→simulate→verify chains. Run with
+//
+//	go test -fuzz=FuzzEndToEnd ./internal/core
+//
+// to explore beyond the corpus.
+func FuzzEndToEnd(f *testing.F) {
+	f.Fuzz(func(t *testing.T, seed, flowIdx, cfgIdx int64) {
+		flows := core.Flows()
+		cfgs := arch.ConfigNames()
+		flow := flows[int(((flowIdx%int64(len(flows)))+int64(len(flows)))%int64(len(flows)))]
+		cfg := cfgs[int(((cfgIdx%int64(len(cfgs)))+int64(len(cfgs)))%int64(len(cfgs)))]
+		g, mem := randomProgram(rand.New(rand.NewSource(seed)))
+		opt := core.DefaultOptions(flow)
+		opt.Seed = seed
+		m, err := core.Map(g, arch.MustGrid(cfg), opt)
+		if err != nil {
+			return // clean mapping failures are acceptable
+		}
+		if ok, _ := m.FitsMemory(); !ok {
+			if flow != core.FlowBasic {
+				t.Fatalf("%s/%s seed %d: aware flow returned an overflowing mapping", flow, cfg, seed)
+			}
+			return // the basic flow may overflow small configs; cannot run
+		}
+		prog, err := asm.Assemble(m)
+		if err != nil {
+			t.Fatalf("%s/%s seed %d: assemble: %v\n%s", flow, cfg, seed, err, g)
+		}
+		s, err := sim.New(prog)
+		if err != nil {
+			t.Fatalf("%s/%s seed %d: sim.New: %v", flow, cfg, seed, err)
+		}
+		if _, _, _, err := s.RunVerified(mem); err != nil {
+			t.Fatalf("%s/%s seed %d: %v\n%s", flow, cfg, seed, err, g)
+		}
+	})
+}
+
 // TestFuzzEndToEnd is the strongest correctness harness in the repository:
 // random programs are mapped, assembled, simulated cycle-accurately, and
 // their final data memory must match the reference interpreter bit for

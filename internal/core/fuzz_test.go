@@ -71,6 +71,41 @@ func randomLoopProgram(rng *rand.Rand) (*cdfg.Graph, cdfg.Memory) {
 	return g, mem
 }
 
+// FuzzMapAndCheck drives the same generator and invariants from Go's
+// native fuzzing engine: the inputs select the program-generator seed and
+// a flow×configuration cell. The checked-in corpus under
+// testdata/fuzz/FuzzMapAndCheck covers every flow and configuration with
+// seeds known to produce mappings (including retry and recompute paths),
+// so a short CI run — where corpus entries execute as plain subtests —
+// starts from interesting inputs instead of zeros. Run with
+//
+//	go test -fuzz=FuzzMapAndCheck ./internal/core
+//
+// to explore beyond the corpus.
+func FuzzMapAndCheck(f *testing.F) {
+	f.Fuzz(func(t *testing.T, seed, flowIdx, cfgIdx int64) {
+		flows := Flows()
+		cfgs := arch.ConfigNames()
+		flow := flows[int(((flowIdx%int64(len(flows)))+int64(len(flows)))%int64(len(flows)))]
+		cfg := cfgs[int(((cfgIdx%int64(len(cfgs)))+int64(len(cfgs)))%int64(len(cfgs)))]
+		g, _ := randomLoopProgram(rand.New(rand.NewSource(seed)))
+		opt := DefaultOptions(flow)
+		opt.Seed = seed
+		m, err := Map(g, arch.MustGrid(cfg), opt)
+		if err != nil {
+			return // clean mapping failures are acceptable
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s/%s seed %d: %v\n%s", flow, cfg, seed, err, g)
+		}
+		if flow.memoryAware() {
+			if ok, tile := m.FitsMemory(); !ok {
+				t.Fatalf("%s/%s seed %d: overflow on tile %d", flow, cfg, seed, tile+1)
+			}
+		}
+	})
+}
+
 // TestFuzzMapAndCheck maps randomly generated loop programs under every
 // flow and configuration and requires the mapper either to fail cleanly
 // or to produce a mapping that passes the symbolic dataflow check (run

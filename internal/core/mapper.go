@@ -45,6 +45,10 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 
 	order := cdfg.Traversal(g, opt.Traversal)
 	for oi, bbid := range order {
+		if err := opt.ctxErr(); err != nil {
+			m.Stats.CompileTime = time.Since(start)
+			return nil, fmt.Errorf("core: mapping %q onto %s: %w", g.Name, grid.Name, err)
+		}
 		block := g.Blocks[bbid]
 		// Every still-unmapped block will occupy at least one word (a
 		// pnop) on every tile; the memory-aware flows reserve that floor
@@ -97,6 +101,10 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		var done []*partial
 		var err error
 		for a := 0; a < attempts; a++ {
+			if cerr := opt.ctxErr(); cerr != nil {
+				err = cerr
+				break
+			}
 			attemptOpt := opt
 			grow := a
 			if grow > 2 {

@@ -6,7 +6,11 @@
 // constraint-aware binding (CAB).
 package core
 
-import "repro/internal/cdfg"
+import (
+	"context"
+
+	"repro/internal/cdfg"
+)
 
 // Flow selects which of the paper's mapping-flow variants runs. The
 // variants are cumulative, exactly like the paper's Figs 6–8 profile them.
@@ -107,6 +111,23 @@ type Options struct {
 	// MaxCRF bounds the distinct constants a tile may reference (the
 	// constant register file size).
 	MaxCRF int
+
+	// ctx, when set (by MapPortfolio), lets Map abort between basic
+	// blocks and between retry attempts once the context is cancelled.
+	ctx context.Context
+}
+
+// ctxErr reports the pending cancellation, if any.
+func (o *Options) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.ctx.Done():
+		return o.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // DefaultOptions returns the tuning used throughout the evaluation.

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/cdfg"
+	"repro/internal/trace"
+)
+
+// Score orders candidate mappings in a seed portfolio. Lower is better on
+// both axes; Primary dominates and Secondary breaks ties. The final
+// tie-break — applied by MapPortfolio, not by Score — is the lowest seed,
+// which makes the portfolio winner a pure function of the seed set.
+type Score struct {
+	// Primary is the dominant cost (the default objective uses total
+	// context-memory words, the quantity the paper's flow minimizes).
+	Primary float64
+	// Secondary breaks Primary ties (the CLI default uses the static
+	// energy estimate from internal/power).
+	Secondary float64
+}
+
+// Less reports whether s strictly precedes o.
+func (s Score) Less(o Score) bool {
+	if s.Primary != o.Primary {
+		return s.Primary < o.Primary
+	}
+	return s.Secondary < o.Secondary
+}
+
+func (s Score) String() string {
+	if s.Secondary == 0 {
+		return fmt.Sprintf("%g", s.Primary)
+	}
+	return fmt.Sprintf("%g/%.4f", s.Primary, s.Secondary)
+}
+
+// Objective scores a successful mapping. Objectives must be pure functions
+// of the mapping: they run concurrently on the portfolio workers.
+type Objective func(*Mapping) Score
+
+// WordsObjective is the default portfolio objective: total context-memory
+// words over all tiles, no tie-break (equal-word mappings then fall back
+// to the lowest seed).
+func WordsObjective(m *Mapping) Score {
+	return Score{Primary: float64(m.TotalWords())}
+}
+
+// TotalWords returns the context words the mapping occupies over all
+// tiles — the portfolio's default minimization target.
+func (m *Mapping) TotalWords() int {
+	n := 0
+	for _, w := range m.TileWords() {
+		n += w
+	}
+	return n
+}
+
+// PortfolioOptions tunes MapPortfolio. The zero value runs a single seed
+// (opt.Seed) on one worker, which is exactly Map.
+type PortfolioOptions struct {
+	// Seeds are the explicit seeds to explore. When nil, the portfolio
+	// uses NumSeeds consecutive seeds starting at the base Options.Seed.
+	Seeds []int64
+	// NumSeeds is the portfolio width when Seeds is nil (minimum 1).
+	NumSeeds int
+	// Workers bounds the concurrently running mappers; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Objective scores successful mappings; nil means WordsObjective.
+	Objective Objective
+	// Stop, when non-nil, is consulted after every successful mapping;
+	// returning true cancels the remaining seeds early ("good enough",
+	// e.g. a known lower bound was hit). Early cancellation trades the
+	// GOMAXPROCS-independence of the winner for wall time: seeds still in
+	// flight are abandoned, so only runs without Stop (or whose Stop
+	// never fires) are schedule-independent.
+	Stop func(*Mapping, Score) bool
+}
+
+func (o *PortfolioOptions) seeds(base int64) []int64 {
+	if len(o.Seeds) > 0 {
+		return o.Seeds
+	}
+	n := o.NumSeeds
+	if n < 1 {
+		n = 1
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds
+}
+
+// PortfolioReport records one seed's outcome for rendering and analysis.
+type PortfolioReport struct {
+	Seed int64
+	// OK is true when the seed produced a mapping; Err carries the
+	// failure otherwise.
+	OK  bool
+	Err string
+	// Score is the objective's verdict (valid only when OK).
+	Score Score
+	// Wall is the seed's mapping wall time (zero when the seed was
+	// cancelled before starting).
+	Wall time.Duration
+	// Winner marks the seed whose mapping MapPortfolio returned.
+	Winner bool
+}
+
+// PortfolioResult is the outcome of a portfolio run: the winning mapping
+// plus the per-seed reports, ordered like the seed list.
+type PortfolioResult struct {
+	// Mapping is the winner under the objective.
+	Mapping *Mapping
+	// Seed produced the winner; Score is its objective value.
+	Seed  int64
+	Score Score
+	// Reports has one entry per requested seed, in seed-list order.
+	Reports []PortfolioReport
+	// Wall is the whole portfolio's wall time.
+	Wall time.Duration
+}
+
+// RenderReports returns the per-seed outcome table (internal/trace format).
+func (r *PortfolioResult) RenderReports() string {
+	rows := make([]trace.PortfolioRow, len(r.Reports))
+	for i, rep := range r.Reports {
+		rows[i] = trace.PortfolioRow{
+			Seed:   rep.Seed,
+			OK:     rep.OK,
+			Wall:   rep.Wall,
+			Winner: rep.Winner,
+		}
+		if rep.OK {
+			rows[i].Detail = rep.Score.String()
+		} else {
+			rows[i].Detail = rep.Err
+		}
+	}
+	return trace.Portfolio(fmt.Sprintf("portfolio: %d seeds, winner seed %d (score %s)",
+		len(r.Reports), r.Seed, r.Score), rows)
+}
+
+// MapPortfolio runs Map over a portfolio of seeds concurrently and returns
+// the best mapping under the objective. The mapping flow is stochastic
+// (the pruning step samples partial mappings, §III of the paper), so
+// different seeds reach mappings of different quality; a portfolio buys
+// quality with idle cores instead of a wider beam.
+//
+// The winner is deterministic for a given seed set: ties on the objective
+// break toward the lowest seed, and the selection scans the completed
+// results in seed order after all workers finish, so neither GOMAXPROCS
+// nor goroutine completion order can change the outcome (unless
+// PortfolioOptions.Stop cancels the run early — see its doc).
+//
+// Cancelling ctx stops workers promptly: seeds not yet started are
+// skipped, and running mappers abort at their next basic-block boundary.
+// When at least one seed has already succeeded, the best of the completed
+// seeds is still returned; otherwise the error aggregates every seed's
+// failure.
+func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Options, popt PortfolioOptions) (*PortfolioResult, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	seeds := popt.seeds(opt.Seed)
+	objective := popt.Objective
+	if objective == nil {
+		objective = WordsObjective
+	}
+	workers := popt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+
+	res := &PortfolioResult{Reports: make([]PortfolioReport, len(seeds))}
+	mappings := make([]*Mapping, len(seeds))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var stopMu sync.Mutex // serializes Stop, which may not be reentrant
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep := &res.Reports[i]
+				rep.Seed = seeds[i]
+				if err := ctx.Err(); err != nil {
+					rep.Err = err.Error()
+					continue
+				}
+				seedOpt := opt
+				seedOpt.Seed = seeds[i]
+				seedOpt.ctx = ctx
+				t0 := time.Now()
+				m, err := Map(g, grid, seedOpt)
+				rep.Wall = time.Since(t0)
+				if err != nil {
+					rep.Err = err.Error()
+					continue
+				}
+				rep.OK = true
+				rep.Score = objective(m)
+				mappings[i] = m
+				if popt.Stop != nil {
+					stopMu.Lock()
+					stop := popt.Stop(m, rep.Score)
+					stopMu.Unlock()
+					if stop {
+						cancel()
+					}
+				}
+			}
+		}()
+	}
+	for i := range seeds {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	// Deterministic best-pick: scan in seed order, prefer a strictly
+	// better score, and on exact ties keep the lowest seed seen first.
+	best := -1
+	for i, rep := range res.Reports {
+		if !rep.OK {
+			continue
+		}
+		switch {
+		case best < 0,
+			rep.Score.Less(res.Reports[best].Score),
+			!res.Reports[best].Score.Less(rep.Score) && seeds[i] < seeds[best]:
+			best = i
+		}
+	}
+	if best < 0 {
+		errs := make([]error, 0, len(seeds))
+		for i, rep := range res.Reports {
+			errs = append(errs, fmt.Errorf("seed %d: %s", seeds[i], rep.Err))
+		}
+		return nil, fmt.Errorf("core: portfolio of %d seeds found no mapping of %q onto %s: %w",
+			len(seeds), g.Name, grid.Name, errors.Join(errs...))
+	}
+	res.Reports[best].Winner = true
+	res.Mapping = mappings[best]
+	res.Seed = seeds[best]
+	res.Score = res.Reports[best].Score
+	return res, nil
+}

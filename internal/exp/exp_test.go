@@ -2,6 +2,7 @@ package exp
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/arch"
@@ -42,6 +43,72 @@ func TestRunnerCPU(t *testing.T) {
 	}
 	if _, err := r.CPU("nope"); err == nil {
 		t.Error("unknown kernel should fail")
+	}
+}
+
+// TestRunnerConcurrentDedup hammers one cell from many goroutines: the
+// in-flight tracking must evaluate it exactly once and hand every caller
+// the same *Cell. Meaningful under -race: it exercises the cache, the
+// in-flight map, and the wait path concurrently.
+func TestRunnerConcurrentDedup(t *testing.T) {
+	r := NewRunner()
+	const n = 8
+	cells := make([]*Cell, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cells[i] = r.Run("FIR", core.FlowBasic, arch.HOM64)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if cells[i] != cells[0] {
+			t.Fatalf("goroutine %d got a different cell", i)
+		}
+	}
+	if !cells[0].OK {
+		t.Fatalf("FIR basic failed: %s", cells[0].Fail)
+	}
+	// The CPU cache must dedup the same way.
+	cpus := make([]*CPUCell, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cpus[i], _ = r.CPU("FIR")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if cpus[i] != cpus[0] {
+			t.Fatalf("goroutine %d got a different CPU cell", i)
+		}
+	}
+}
+
+// TestFig5ParallelMatchesSerial is the byte-identical-output guarantee:
+// the same figure rendered from a serial runner and from a parallel
+// runner must be equal down to the last byte.
+func TestFig5ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps every kernel twice, twice")
+	}
+	serial := NewRunner()
+	serial.Workers = 1
+	parallel := NewRunner()
+	parallel.Workers = 4
+	fs, err := serial.RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := parallel.RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Render() != fp.Render() {
+		t.Errorf("parallel render diverged:\n--- serial ---\n%s--- parallel ---\n%s", fs.Render(), fp.Render())
 	}
 }
 

@@ -79,9 +79,23 @@ type Fig5 struct {
 	FailedWght []bool
 }
 
+// fig5Jobs lists the cells Fig 5 needs, as prefetch closures.
+func (r *Runner) fig5Jobs() []func() {
+	var jobs []func()
+	for _, name := range kernels.Names() {
+		name := name
+		for _, trav := range []cdfg.TraversalKind{cdfg.TraverseForward, cdfg.TraverseWeighted} {
+			trav := trav
+			jobs = append(jobs, func() { r.RunTraversal(name, core.FlowBasic, arch.HOM64, trav) })
+		}
+	}
+	return jobs
+}
+
 // RunFig5 evaluates the traversal comparison on every kernel with the
 // basic flow (traversal is the only variable).
 func (r *Runner) RunFig5() (*Fig5, error) {
+	r.prefetch(r.fig5Jobs())
 	f := &Fig5{}
 	for _, name := range kernels.Names() {
 		fwd := r.RunTraversal(name, core.FlowBasic, arch.HOM64, cdfg.TraverseForward)
@@ -144,8 +158,23 @@ type LatencyFig struct {
 	Base []*Cell
 }
 
+// latencyFigJobs lists the cells one of Figs 6–8 needs.
+func (r *Runner) latencyFigJobs(flow core.Flow) []func() {
+	var jobs []func()
+	for _, name := range kernels.Names() {
+		name := name
+		jobs = append(jobs, func() { r.Baseline(name) })
+		for _, cfg := range awareConfigs() {
+			cfg := cfg
+			jobs = append(jobs, func() { r.Run(name, flow, cfg) })
+		}
+	}
+	return jobs
+}
+
 // RunLatencyFig evaluates one of Figs 6–8 for the given flow.
 func (r *Runner) RunLatencyFig(flow core.Flow) (*LatencyFig, error) {
+	r.prefetch(r.latencyFigJobs(flow))
 	f := &LatencyFig{Flow: flow, Configs: awareConfigs()}
 	for _, name := range kernels.Names() {
 		base := r.Baseline(name)
@@ -219,10 +248,31 @@ type Fig9 struct {
 	Norm    []float64 // normalized to basic
 }
 
+// fig9Jobs lists the cells Fig 9 needs: the full flow×kernel×config grid.
+func (r *Runner) fig9Jobs() []func() {
+	var jobs []func()
+	for _, flow := range core.Flows() {
+		flow := flow
+		for _, name := range kernels.Names() {
+			name := name
+			if flow == core.FlowBasic {
+				jobs = append(jobs, func() { r.Run(name, flow, arch.HOM64) })
+				continue
+			}
+			for _, cfg := range awareConfigs() {
+				cfg := cfg
+				jobs = append(jobs, func() { r.Run(name, flow, cfg) })
+			}
+		}
+	}
+	return jobs
+}
+
 // RunFig9 evaluates the compile-time figure. Mapping attempts that end
 // without a solution still count — the paper's compile times include the
 // full pruning work.
 func (r *Runner) RunFig9() (*Fig9, error) {
+	r.prefetch(r.fig9Jobs())
 	f := &Fig9{Flows: core.Flows()}
 	for _, flow := range f.Flows {
 		total, n := 0.0, 0
@@ -270,8 +320,25 @@ type Fig10 struct {
 	Speedup [][3]float64
 }
 
+// cpuCompareJobs lists the cells Fig 10 and Table II share: the CPU
+// baseline plus basic/HOM64 and CAB on the heterogeneous configs.
+func (r *Runner) cpuCompareJobs() []func() {
+	var jobs []func()
+	for _, name := range kernels.Names() {
+		name := name
+		jobs = append(jobs,
+			// Cache warm-up only: the serial pass reports CPU errors.
+			func() { _, _ = r.CPU(name) },
+			func() { r.Run(name, core.FlowBasic, arch.HOM64) },
+			func() { r.Run(name, core.FlowCAB, arch.HET1) },
+			func() { r.Run(name, core.FlowCAB, arch.HET2) })
+	}
+	return jobs
+}
+
 // RunFig10 evaluates the CPU comparison.
 func (r *Runner) RunFig10() (*Fig10, error) {
+	r.prefetch(r.cpuCompareJobs())
 	f := &Fig10{}
 	for _, name := range kernels.Names() {
 		cc, err := r.CPU(name)
@@ -379,6 +446,7 @@ type TableII struct {
 
 // RunTableII evaluates the energy table.
 func (r *Runner) RunTableII() (*TableII, error) {
+	r.prefetch(r.cpuCompareJobs())
 	t := &TableII{}
 	for _, name := range kernels.Names() {
 		cc, err := r.CPU(name)
@@ -477,9 +545,24 @@ func (t *TableII) Render() string {
 	return s
 }
 
+// PrefetchAll warms the cell cache for the whole evaluation on the
+// runner's worker pool. RenderAll calls it first so every figure then
+// renders from cached cells; calling it up front is also the cheapest way
+// to parallelize a custom sequence of figure runs.
+func (r *Runner) PrefetchAll() {
+	var jobs []func()
+	jobs = append(jobs, func() { r.Run("MatM", core.FlowBasic, arch.HOM64) })
+	jobs = append(jobs, r.fig5Jobs()...)
+	// fig9Jobs covers the latency figures' grid (Figs 6-8) as well.
+	jobs = append(jobs, r.fig9Jobs()...)
+	jobs = append(jobs, r.cpuCompareJobs()...)
+	r.prefetch(jobs)
+}
+
 // RenderAll runs every experiment and concatenates the reports — the
 // whole evaluation section in one call.
 func (r *Runner) RenderAll() (string, error) {
+	r.PrefetchAll()
 	var sb strings.Builder
 	f2, err := r.RunFig2()
 	if err != nil {

@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -60,22 +61,69 @@ type cellKey struct {
 	forced bool
 }
 
-// Runner evaluates and caches cells. It is safe for concurrent use.
+// Runner evaluates and caches cells. It is safe for concurrent use: a
+// cell requested from several goroutines is evaluated exactly once, and
+// the figure runners prefetch their cells on a pool of Workers goroutines
+// before rendering serially, so the rendered output is byte-identical at
+// any parallelism.
 type Runner struct {
 	Params power.Params
+	// Workers bounds the prefetch pool; 0 means runtime.GOMAXPROCS(0)
+	// and 1 restores fully serial evaluation.
+	Workers int
 
-	mu    sync.Mutex
-	cells map[cellKey]*Cell
-	cpus  map[string]*CPUCell
+	mu          sync.Mutex
+	cells       map[cellKey]*Cell
+	cpus        map[string]*CPUCell
+	inflight    map[cellKey]chan struct{}
+	cpuInflight map[string]chan struct{}
 }
 
 // NewRunner returns a Runner with the default power parameters.
 func NewRunner() *Runner {
 	return &Runner{
-		Params: power.Default(),
-		cells:  map[cellKey]*Cell{},
-		cpus:   map[string]*CPUCell{},
+		Params:      power.Default(),
+		cells:       map[cellKey]*Cell{},
+		cpus:        map[string]*CPUCell{},
+		inflight:    map[cellKey]chan struct{}{},
+		cpuInflight: map[string]chan struct{}{},
 	}
+}
+
+// prefetch runs the jobs on the runner's worker pool and waits for all of
+// them. Jobs are cache-warming closures (r.Run / r.CPU calls); their
+// results land in the cell cache, so the serial rendering that follows is
+// independent of execution order.
+func (r *Runner) prefetch(jobs []func()) {
+	n := r.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n <= 1 {
+		for _, j := range jobs {
+			j()
+		}
+		return
+	}
+	ch := make(chan func())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				j()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
 }
 
 // Run evaluates one cell with the flow's default traversal.
@@ -96,15 +144,29 @@ func (r *Runner) RunTraversal(kernel string, flow core.Flow, config arch.ConfigN
 func (r *Runner) run(kernel string, flow core.Flow, config arch.ConfigName, opt core.Options) *Cell {
 	key := cellKey{kernel, flow, config, opt.Traversal, opt.ForceTraversal}
 	r.mu.Lock()
-	if c, ok := r.cells[key]; ok {
+	for {
+		if c, ok := r.cells[key]; ok {
+			r.mu.Unlock()
+			return c
+		}
+		ch, busy := r.inflight[key]
+		if !busy {
+			break
+		}
+		// Another goroutine is evaluating this cell; wait for it.
 		r.mu.Unlock()
-		return c
+		<-ch
+		r.mu.Lock()
 	}
+	ch := make(chan struct{})
+	r.inflight[key] = ch
 	r.mu.Unlock()
 	c := r.evaluate(kernel, flow, config, opt)
 	r.mu.Lock()
 	r.cells[key] = c
+	delete(r.inflight, key)
 	r.mu.Unlock()
+	close(ch)
 	return c
 }
 
@@ -170,11 +232,28 @@ func (r *Runner) evaluate(kernel string, flow core.Flow, config arch.ConfigName,
 // output against the golden reference.
 func (r *Runner) CPU(kernel string) (*CPUCell, error) {
 	r.mu.Lock()
-	if c, ok := r.cpus[kernel]; ok {
+	for {
+		if c, ok := r.cpus[kernel]; ok {
+			r.mu.Unlock()
+			return c, nil
+		}
+		ch, busy := r.cpuInflight[kernel]
+		if !busy {
+			break
+		}
 		r.mu.Unlock()
-		return c, nil
+		<-ch
+		r.mu.Lock()
 	}
+	ch := make(chan struct{})
+	r.cpuInflight[kernel] = ch
 	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.cpuInflight, kernel)
+		r.mu.Unlock()
+		close(ch)
+	}()
 	k, err := kernels.ByName(kernel)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,40 @@
+package power
+
+import (
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// StaticMappingEnergy estimates a mapping's execution energy (µJ) without
+// simulating it: one context fetch per occupied word, op/move energy from
+// the static instruction mix, and leakage over the static cycle count
+// (every block once). The estimate tracks the simulator-derived energy
+// closely enough to rank mappings of the same kernel on the same grid —
+// its only job in the seed portfolio — because mappings differ mainly in
+// context words and moves, which this model prices exactly like
+// CGRAEnergy does.
+func (p Params) StaticMappingEnergy(m *core.Mapping) float64 {
+	e := p.ConfigWord * float64(m.Grid.TotalCM())
+	leakPerCycle := p.LeakGlobal
+	for t, words := range m.TileWords() {
+		cm := m.Grid.Tile(arch.TileID(t)).CMWords
+		e += p.FetchEnergy(cm) * float64(words)
+		leakPerCycle += p.CMLeak(cm) + p.LeakTile
+	}
+	e += p.ALUEnergy*float64(m.TotalOps()) + p.MoveEnergy*float64(m.TotalMoves())
+	e += leakPerCycle * float64(m.StaticCycles(nil))
+	return e * pJtoUJ
+}
+
+// PortfolioObjective is the CLI tools' default portfolio objective:
+// minimize total context-memory words (the paper's constraint quantity),
+// break ties by the static energy estimate; MapPortfolio itself breaks
+// remaining ties toward the lowest seed.
+func PortfolioObjective(p Params) core.Objective {
+	return func(m *core.Mapping) core.Score {
+		return core.Score{
+			Primary:   float64(m.TotalWords()),
+			Secondary: p.StaticMappingEnergy(m),
+		}
+	}
+}

@@ -6,6 +6,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Table is a simple fixed-width text table.
@@ -108,6 +109,40 @@ func Bars(title string, width int, labels []string, values []float64) string {
 		fmt.Fprintf(&sb, " %.3f\n", v)
 	}
 	return sb.String()
+}
+
+// PortfolioRow is one seed's outcome in a portfolio-mapping run.
+type PortfolioRow struct {
+	Seed int64
+	OK   bool
+	// Detail is the score of a successful seed or the failure reason.
+	Detail string
+	Wall   time.Duration
+	// Winner marks the seed whose mapping the portfolio returned.
+	Winner bool
+}
+
+// Portfolio renders the per-seed outcomes of a portfolio-mapping run.
+func Portfolio(title string, rows []PortfolioRow) string {
+	t := NewTable(title, "seed", "result", "score", "wall", "")
+	for _, r := range rows {
+		result, score, mark := "ok", r.Detail, ""
+		if !r.OK {
+			result, score = "fail", truncate(r.Detail, 60)
+		}
+		if r.Winner {
+			mark = "<- winner"
+		}
+		t.Add(r.Seed, result, score, r.Wall.Round(time.Millisecond), mark)
+	}
+	return t.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
 }
 
 // Utilization renders per-tile context-memory occupancy like the paper's

@@ -3,6 +3,7 @@ package trace
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTable(t *testing.T) {
@@ -34,6 +35,22 @@ func TestBars(t *testing.T) {
 	}
 	if count(lines[2]) != 10 {
 		t.Errorf("max bar should span the width:\n%s", s)
+	}
+}
+
+func TestPortfolio(t *testing.T) {
+	rows := []PortfolioRow{
+		{Seed: 1, OK: true, Detail: "74/0.0053", Wall: 120 * time.Millisecond, Winner: true},
+		{Seed: 2, OK: false, Detail: strings.Repeat("x", 100), Wall: 80 * time.Millisecond},
+	}
+	s := Portfolio("portfolio: 2 seeds", rows)
+	for _, want := range []string{"portfolio: 2 seeds", "<- winner", "74/0.0053", "fail", "..."} {
+		if !strings.Contains(s, want) {
+			t.Errorf("portfolio rendering misses %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, strings.Repeat("x", 100)) {
+		t.Error("long failure reasons must be truncated")
 	}
 }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI pipeline: vet, build, full tests, then the race-detector pass.
+#
+#   scripts/ci.sh          # everything (slow: the race pass re-runs the suite)
+#   scripts/ci.sh -short   # short variant for quick iteration
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short="${1:-}"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test $short ./..."
+go test $short ./...
+
+# Race instrumentation slows the mapping matrix ~4-5x; raise the
+# per-package timeout past the 10m default.
+echo "== go test -race $short ./..."
+go test -race -timeout 45m $short ./...
+
+echo "CI OK"
