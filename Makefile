@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench ci
+.PHONY: build vet test test-short test-race bench bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ test-race:
 
 bench:
 	$(GO) test -bench . -run NONE ./...
+
+# Mapper/simulator performance baseline: runs the BenchmarkCoreMap /
+# BenchmarkCoreMapPortfolio / BenchmarkSimRun suite and writes the
+# BENCH_core.json artifact for regression diffing.
+bench-baseline:
+	./scripts/bench.sh
 
 ci:
 	./scripts/ci.sh

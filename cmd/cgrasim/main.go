@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // cliOptions collects the flag values so tests can drive run directly.
@@ -113,6 +115,15 @@ func run(w io.Writer, o cliOptions) error {
 	}
 	res, _, mem, err := s.RunVerified(k.Init())
 	if err != nil {
+		var div *sim.DivergenceError
+		if errors.As(err, &div) {
+			words := make([]trace.DivergentWord, len(div.Mismatches))
+			for i, m := range div.Mismatches {
+				words[i] = trace.DivergentWord{Addr: m.Addr, Ref: m.Ref, Got: m.Got}
+			}
+			fmt.Fprint(w, trace.Divergence(div.Kernel, flow.String(), grid.Name,
+				div.Cycles, div.Total, words))
+		}
 		return err
 	}
 	if err := k.Check(mem); err != nil {

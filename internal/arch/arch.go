@@ -43,6 +43,9 @@ type Grid struct {
 	// holds 8 32-bit values in our word-oriented model).
 	RRFSize int
 
+	// nbrs is the precomputed neighbor table (see buildNeighborTable).
+	nbrs [][4]TileID
+
 	// MemPorts is the number of simultaneous data-memory accesses the
 	// logarithmic interconnect serves per cycle; excess accesses stall the
 	// whole array for one cycle per extra access.
@@ -87,6 +90,9 @@ func (g *Grid) TotalCM() int {
 // order (north, south, west, east). On a torus every tile has exactly four
 // neighbors; on 4×4 they are all distinct from the tile itself.
 func (g *Grid) Neighbors(id TileID) []TileID {
+	if g.nbrs != nil {
+		return g.nbrs[id][:]
+	}
 	t := g.Tiles[id]
 	up := (t.Row - 1 + g.Rows) % g.Rows
 	dn := (t.Row + 1) % g.Rows
@@ -98,6 +104,17 @@ func (g *Grid) Neighbors(id TileID) []TileID {
 		g.At(t.Row, lf).ID,
 		g.At(t.Row, rt).ID,
 	}
+}
+
+// buildNeighborTable precomputes the per-tile neighbor lists so Neighbors
+// is allocation-free — it sits on the routing search's innermost loop.
+func (g *Grid) buildNeighborTable() {
+	g.nbrs = nil // fall back to the computed form while (re)building
+	nbrs := make([][4]TileID, len(g.Tiles))
+	for id := range g.Tiles {
+		copy(nbrs[id][:], g.Neighbors(TileID(id)))
+	}
+	g.nbrs = nbrs
 }
 
 // Adjacent reports whether a and b are torus neighbors.

@@ -102,6 +102,7 @@ func buildGrid(name string, cm [16]int) *Grid {
 			})
 		}
 	}
+	g.buildNeighborTable()
 	return g
 }
 

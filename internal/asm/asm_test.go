@@ -93,6 +93,39 @@ func TestBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBinaryRoundTripAllConfigs repeats the lossless-encoding check on
+// every context-memory configuration: the heterogeneous layouts change
+// tile placement (and so the instruction streams), and each stream must
+// still decode bit-identically against its tile's CRF.
+func TestBinaryRoundTripAllConfigs(t *testing.T) {
+	kinds := map[isa.Kind]int{}
+	for _, cfg := range arch.ConfigNames() {
+		p := assemble(t, "FIR", core.FlowCAB, cfg)
+		for i := range p.Tiles {
+			tc := &p.Tiles[i]
+			var want []isa.Instr
+			for _, seg := range tc.Segments {
+				want = append(want, seg.Instrs...)
+			}
+			for j, w := range tc.Binary {
+				got, err := isa.Decode(w, tc.CRF)
+				if err != nil {
+					t.Fatalf("%s tile %d word %d: %v", cfg, i+1, j, err)
+				}
+				if got != want[j] {
+					t.Fatalf("%s tile %d word %d: decoded %v, want %v", cfg, i+1, j, got, want[j])
+				}
+				kinds[got.Kind]++
+			}
+		}
+	}
+	for _, k := range []isa.Kind{isa.KOp, isa.KMove, isa.KPnop} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v words across any config; round trip untested for that kind", k)
+		}
+	}
+}
+
 func TestListing(t *testing.T) {
 	p := assemble(t, "DCFilter", core.FlowBasic, arch.HOM64)
 	l := Listing(p)

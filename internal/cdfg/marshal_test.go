@@ -1,0 +1,90 @@
+package cdfg
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	n := int64(50)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(0); seed < n; seed++ {
+		g, _ := Generate(rand.New(rand.NewSource(seed)), DefaultGenConfig())
+		data, err := g.MarshalText()
+		if err != nil {
+			t.Fatalf("seed %d: MarshalText: %v", seed, err)
+		}
+		back, err := UnmarshalText(data)
+		if err != nil {
+			t.Fatalf("seed %d: UnmarshalText: %v\n%s", seed, err, data)
+		}
+		again, err := back.MarshalText()
+		if err != nil {
+			t.Fatalf("seed %d: re-marshal: %v", seed, err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("seed %d: round trip not stable:\n%s\nvs\n%s", seed, data, again)
+		}
+	}
+}
+
+func TestMarshalComments(t *testing.T) {
+	b := NewBuilder("tiny")
+	bb := b.Block("entry")
+	bb.Store(bb.Const(0), bb.Const(7))
+	g := b.Finish()
+	data, err := g.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	commented := "# a comment\n" + string(data) + "\n# trailing\n"
+	if _, err := UnmarshalText([]byte(commented)); err != nil {
+		t.Fatalf("comments broke parsing: %v", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	valid := func() string {
+		b := NewBuilder("ok")
+		bb := b.Block("entry")
+		bb.Store(bb.Const(0), bb.Const(7))
+		data, err := b.Finish().MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}()
+
+	for _, tc := range []struct{ name, data string }{
+		{"empty", ""},
+		{"no header", "block \"entry\"\nend\n"},
+		{"bad opcode", strings.Replace(valid, "store", "frobnicate", 1)},
+		{"dangling arg", strings.Replace(valid, "store 0 1", "store 0 99", 1)},
+		{"negative branch", strings.Replace(valid, "end", "branch -5\nend", 1)},
+		{"garbage line", valid + "wat\n"},
+	} {
+		if _, err := UnmarshalText([]byte(tc.data)); err == nil {
+			t.Errorf("%s: UnmarshalText succeeded on invalid input", tc.name)
+		}
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for op := Opcode(0); int(op) < len(opNames); op++ {
+		name := op.String()
+		if strings.HasPrefix(name, "op(") {
+			continue
+		}
+		got, ok := OpcodeByName(name)
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v, want %v", name, got, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("nope"); ok {
+		t.Error("OpcodeByName(nope) succeeded")
+	}
+}

@@ -1,0 +1,211 @@
+package cdfg
+
+// Graph surgery: the small set of semantics-shrinking transformations the
+// failure shrinker (internal/oracle) composes to minimize a failing graph.
+// Every helper mutates the graph it is given in place — callers shrink on
+// a Clone and re-Verify the result, discarding candidates that break an
+// invariant.
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{Name: g.Name, Entry: g.Entry, Blocks: make([]*BasicBlock, len(g.Blocks))}
+	for i, b := range g.Blocks {
+		nb := &BasicBlock{
+			ID:      b.ID,
+			Name:    b.Name,
+			Nodes:   make([]*Node, len(b.Nodes)),
+			LiveOut: make(map[string]NodeID, len(b.LiveOut)),
+			Branch:  b.Branch,
+			Succs:   append([]BBID(nil), b.Succs...),
+		}
+		for j, n := range b.Nodes {
+			nn := *n
+			nn.Args = append([]NodeID(nil), n.Args...)
+			nb.Nodes[j] = &nn
+		}
+		for s, id := range b.LiveOut {
+			nb.LiveOut[s] = id
+		}
+		c.Blocks[i] = nb
+	}
+	return c
+}
+
+// RemoveNodes deletes every node of block bb for which dead returns true,
+// renumbering the survivors and rewriting arguments, live-outs and the
+// branch pointer. It returns false (leaving the block unchanged) if any
+// doomed node is still referenced by a surviving node, a live-out, or the
+// branch pointer.
+func RemoveNodes(g *Graph, bb BBID, dead func(NodeID) bool) bool {
+	b := g.Blocks[bb]
+	remap := make([]NodeID, len(b.Nodes))
+	var kept []*Node
+	for _, n := range b.Nodes {
+		if dead(n.ID) {
+			remap[n.ID] = None
+		} else {
+			remap[n.ID] = NodeID(len(kept))
+			kept = append(kept, n)
+		}
+	}
+	// Check references before committing.
+	for _, n := range kept {
+		for _, a := range n.Args {
+			if remap[a] == None {
+				return false
+			}
+		}
+	}
+	for _, id := range b.LiveOut {
+		if remap[id] == None {
+			return false
+		}
+	}
+	if b.Branch != None && remap[b.Branch] == None {
+		return false
+	}
+	for _, n := range kept {
+		n.ID = remap[n.ID]
+		for i, a := range n.Args {
+			n.Args[i] = remap[a]
+		}
+	}
+	for s, id := range b.LiveOut {
+		b.LiveOut[s] = remap[id]
+	}
+	if b.Branch != None {
+		b.Branch = remap[b.Branch]
+	}
+	b.Nodes = kept
+	return true
+}
+
+// EliminateDeadNodes removes, to a fixpoint, every node with no in-block
+// users that is not a live-out, the branch, a store, or a branch op.
+// It returns the number of nodes removed.
+func EliminateDeadNodes(g *Graph) int {
+	removed := 0
+	for {
+		n := 0
+		for _, b := range g.Blocks {
+			used := make([]bool, len(b.Nodes))
+			for _, nd := range b.Nodes {
+				for _, a := range nd.Args {
+					used[a] = true
+				}
+			}
+			for _, id := range b.LiveOut {
+				used[id] = true
+			}
+			if b.Branch != None {
+				used[b.Branch] = true
+			}
+			doomed := map[NodeID]bool{}
+			for _, nd := range b.Nodes {
+				if !used[nd.ID] && nd.Op != OpStore && nd.Op != OpBr {
+					doomed[nd.ID] = true
+				}
+			}
+			if len(doomed) > 0 && RemoveNodes(g, b.ID, func(id NodeID) bool { return doomed[id] }) {
+				n += len(doomed)
+			}
+		}
+		if n == 0 {
+			return removed
+		}
+		removed += n
+	}
+}
+
+// BypassNode rewrites every use of node id (arguments and live-outs) to
+// the node's first value-producing argument, leaving id itself dead for
+// EliminateDeadNodes. It returns false when the node has no such argument
+// (constants, symbol reads, and zero-argument nodes cannot be bypassed).
+func BypassNode(g *Graph, bb BBID, id NodeID) bool {
+	b := g.Blocks[bb]
+	n := b.Nodes[id]
+	if !n.Op.HasResult() {
+		return false
+	}
+	repl := NodeID(None)
+	for _, a := range n.Args {
+		if b.Nodes[a].Op.HasResult() {
+			repl = a
+			break
+		}
+	}
+	if repl == None {
+		return false
+	}
+	for _, nd := range b.Nodes {
+		for i, a := range nd.Args {
+			if a == id {
+				nd.Args[i] = repl
+			}
+		}
+	}
+	for s, lo := range b.LiveOut {
+		if lo == id {
+			b.LiveOut[s] = repl
+		}
+	}
+	return true
+}
+
+// Straighten replaces block bb's conditional branch with an unconditional
+// jump to Succs[0] (takeFirst) or Succs[1], dropping the OpBr node. It
+// returns false when the block has no branch.
+func Straighten(g *Graph, bb BBID, takeFirst bool) bool {
+	b := g.Blocks[bb]
+	if !b.HasBranch() {
+		return false
+	}
+	keep := b.Succs[1]
+	if takeFirst {
+		keep = b.Succs[0]
+	}
+	br := b.Branch
+	b.Branch = None
+	b.Succs = []BBID{keep}
+	RemoveNodes(g, bb, func(id NodeID) bool { return id == br })
+	return true
+}
+
+// RemoveUnreachable deletes blocks unreachable from the entry, renumbering
+// the survivors. It returns the number of blocks removed.
+func RemoveUnreachable(g *Graph) int {
+	reach := make([]bool, len(g.Blocks))
+	var dfs func(BBID)
+	dfs = func(id BBID) {
+		reach[id] = true
+		for _, s := range g.Blocks[id].Succs {
+			if !reach[s] {
+				dfs(s)
+			}
+		}
+	}
+	dfs(g.Entry)
+	remap := make([]BBID, len(g.Blocks))
+	var kept []*BasicBlock
+	for i, b := range g.Blocks {
+		if reach[i] {
+			remap[i] = BBID(len(kept))
+			kept = append(kept, b)
+		} else {
+			remap[i] = None
+		}
+	}
+	removed := len(g.Blocks) - len(kept)
+	if removed == 0 {
+		return 0
+	}
+	for _, b := range kept {
+		b.ID = remap[b.ID]
+		for i, s := range b.Succs {
+			b.Succs[i] = remap[s]
+		}
+	}
+	g.Entry = remap[g.Entry]
+	g.Blocks = kept
+	return removed
+}

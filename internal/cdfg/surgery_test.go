@@ -1,0 +1,181 @@
+package cdfg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// diamondGraph builds a small if/else graph used across the surgery tests.
+func diamondGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("diamond")
+	entry := b.Block("entry")
+	c0 := entry.Const(1)
+	entry.SetSym("x", c0)
+	entry.BranchIf(entry.Lt(c0, entry.Const(2)), "then", "else")
+	then := b.Block("then")
+	then.SetSym("x", then.AddC(then.Sym("x"), 1))
+	then.Jump("exit")
+	els := b.Block("else")
+	els.SetSym("x", els.AddC(els.Sym("x"), 2))
+	els.Jump("exit")
+	exit := b.Block("exit")
+	exit.Store(exit.Const(10), exit.Sym("x"))
+	g := b.Finish()
+	if err := Verify(g); err != nil {
+		t.Fatalf("diamond graph does not verify: %v", err)
+	}
+	return g
+}
+
+func blockNamed(t *testing.T, g *Graph, name string) BBID {
+	t.Helper()
+	for i, b := range g.Blocks {
+		if b.Name == name {
+			return BBID(i)
+		}
+	}
+	t.Fatalf("no block %q", name)
+	return None
+}
+
+func marshaled(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	data, err := g.MarshalText()
+	if err != nil {
+		t.Fatalf("MarshalText: %v", err)
+	}
+	return data
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, _ := Generate(rand.New(rand.NewSource(seed)), DefaultGenConfig())
+		before := marshaled(t, g)
+		c := g.Clone()
+		if !bytes.Equal(before, marshaled(t, c)) {
+			t.Fatalf("seed %d: clone differs from original", seed)
+		}
+		// Mutate every mutable region of the clone; original must not move.
+		c.Name = "mutated"
+		for _, b := range c.Blocks {
+			b.Name += "_m"
+			for _, n := range b.Nodes {
+				if n.Op == OpConst {
+					n.Val++
+				}
+			}
+			for s := range b.LiveOut {
+				delete(b.LiveOut, s)
+				break
+			}
+			if len(b.Succs) > 0 {
+				b.Succs[0] = 0
+			}
+		}
+		if !bytes.Equal(before, marshaled(t, g)) {
+			t.Fatalf("seed %d: mutating the clone changed the original", seed)
+		}
+	}
+}
+
+func TestStraighten(t *testing.T) {
+	for _, takeFirst := range []bool{true, false} {
+		g := diamondGraph(t)
+		entry := blockNamed(t, g, "entry")
+		if !Straighten(g, entry, takeFirst) {
+			t.Fatal("Straighten on a branching block returned false")
+		}
+		EliminateDeadNodes(g)
+		if n := RemoveUnreachable(g); n != 1 {
+			t.Fatalf("RemoveUnreachable removed %d blocks, want 1", n)
+		}
+		if err := Verify(g); err != nil {
+			t.Fatalf("takeFirst=%v: straightened graph fails Verify: %v\n%v", takeFirst, err, g)
+		}
+		if got := len(g.Blocks); got != 3 {
+			t.Fatalf("takeFirst=%v: got %d blocks, want 3", takeFirst, got)
+		}
+	}
+
+	// Straightening a single-successor block is a no-op.
+	g := diamondGraph(t)
+	if Straighten(g, blockNamed(t, g, "then"), true) {
+		t.Fatal("Straighten on a jump block returned true")
+	}
+}
+
+func TestEliminateDeadNodes(t *testing.T) {
+	g := diamondGraph(t)
+	entry := blockNamed(t, g, "entry")
+	before := len(g.Blocks[entry].Nodes)
+	// Append a dead constant chain by hand.
+	b := g.Blocks[entry]
+	id := NodeID(len(b.Nodes))
+	b.Nodes = append(b.Nodes, &Node{ID: id, Op: OpConst, Val: 99})
+	b.Nodes = append(b.Nodes, &Node{ID: id + 1, Op: OpNeg, Args: []NodeID{id}})
+	if err := Verify(g); err != nil {
+		t.Fatalf("graph with dead chain fails Verify: %v", err)
+	}
+	if n := EliminateDeadNodes(g); n != 2 {
+		t.Fatalf("EliminateDeadNodes removed %d nodes, want 2", n)
+	}
+	if got := len(g.Blocks[entry].Nodes); got != before {
+		t.Fatalf("entry has %d nodes, want %d", got, before)
+	}
+	if err := Verify(g); err != nil {
+		t.Fatalf("after DCE: %v", err)
+	}
+	// Live code must survive: everything left feeds a store, branch,
+	// live-out or memory effect.
+	if n := EliminateDeadNodes(g); n != 0 {
+		t.Fatalf("second DCE pass removed %d nodes, want 0", n)
+	}
+}
+
+func TestRemoveNodesRefusesReferenced(t *testing.T) {
+	g := diamondGraph(t)
+	entry := blockNamed(t, g, "entry")
+	// Node 0 is the Const(1) feeding the live-out symbol and the branch
+	// condition; removing it must be refused.
+	if RemoveNodes(g, entry, func(id NodeID) bool { return id == 0 }) {
+		t.Fatal("RemoveNodes removed a referenced node")
+	}
+	if err := Verify(g); err != nil {
+		t.Fatalf("refused removal corrupted the graph: %v", err)
+	}
+}
+
+func TestBypassNode(t *testing.T) {
+	g := diamondGraph(t)
+	then := blockNamed(t, g, "then")
+	var addID NodeID = None
+	for _, n := range g.Blocks[then].Nodes {
+		if n.Op == OpAdd {
+			addID = n.ID
+		}
+	}
+	if addID == None {
+		t.Fatal("no add in then block")
+	}
+	if !BypassNode(g, then, addID) {
+		t.Fatal("BypassNode failed")
+	}
+	EliminateDeadNodes(g)
+	if err := Verify(g); err != nil {
+		t.Fatalf("after bypass: %v\n%v", err, g)
+	}
+	for _, n := range g.Blocks[then].Nodes {
+		if n.Op == OpAdd {
+			t.Fatal("bypassed add survived DCE")
+		}
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	g := diamondGraph(t)
+	if n := RemoveUnreachable(g); n != 0 {
+		t.Fatalf("removed %d blocks from a fully reachable graph", n)
+	}
+}

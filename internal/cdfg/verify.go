@@ -78,7 +78,7 @@ func verifyBlock(g *Graph, b *BasicBlock) error {
 		}
 	}
 	if b.HasBranch() {
-		if int(b.Branch) >= len(b.Nodes) || b.Nodes[b.Branch].Op != OpBr {
+		if b.Branch < 0 || int(b.Branch) >= len(b.Nodes) || b.Nodes[b.Branch].Op != OpBr {
 			return fmt.Errorf("branch node n%d is not an OpBr", b.Branch)
 		}
 		if len(b.Succs) != 2 {

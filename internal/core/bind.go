@@ -35,6 +35,23 @@ type argPlan struct {
 }
 
 // candidate is one feasible binding of a node under a specific partial.
+// partialsByCost and candsByCost are concrete sort.Interface adapters:
+// both sorts sit on the binder's hot path, where the reflection-based
+// sort.SliceStable swapper showed up in profiles.
+type partialsByCost []*partial
+
+func (s partialsByCost) Len() int           { return len(s) }
+func (s partialsByCost) Less(i, j int) bool { return s[i].cost < s[j].cost }
+func (s partialsByCost) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+type candsByCost []candidate
+
+func (s candsByCost) Len() int { return len(s) }
+func (s candsByCost) Less(i, j int) bool {
+	return s[i].parent.cost+s[i].cost < s[j].parent.cost+s[j].cost
+}
+func (s candsByCost) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
 type candidate struct {
 	parent *partial
 	node   cdfg.NodeID
@@ -265,7 +282,7 @@ func (cx *bbCtx) planCandidate(p *partial, n cdfg.NodeID, t arch.TileID, cc int,
 				if !cx.freshRegAvailable(p, o, t) {
 					return candidate{}, false
 				}
-				o.regs[t]++
+				o.addReg(t)
 				pinnedHere[av.Sym] = true
 			}
 			ap.Pin = &pinStep{Sym: av.Sym, Node: a, Tile: t}
@@ -683,7 +700,7 @@ func stochasticPrune(parts []*partial, beam int, detFrac float64, rng *rand.Rand
 	if len(parts) <= beam {
 		return parts
 	}
-	sort.SliceStable(parts, func(i, j int) bool { return parts[i].cost < parts[j].cost })
+	sort.Stable(partialsByCost(parts))
 	det := int(float64(beam) * detFrac)
 	if det > beam {
 		det = beam
@@ -755,9 +772,7 @@ func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial,
 		}
 		// The exact binder can enumerate hundreds of placements; rank by
 		// accumulated cost and realize only the most promising.
-		sort.SliceStable(cands, func(i, j int) bool {
-			return cands[i].parent.cost+cands[i].cost < cands[j].parent.cost+cands[j].cost
-		})
+		sort.Stable(candsByCost(cands))
 		// Realize candidates best-first until enough children survive the
 		// memory filters (the cap bounds survivors, so a run of filtered
 		// placements does not exhaust the binder's patience).

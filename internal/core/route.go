@@ -80,32 +80,49 @@ type recompStep struct {
 
 // overlay tracks the tentative effects of sibling operand plans within one
 // candidate so that plans don't collide before the candidate is applied.
+// An overlay holds at most a handful of entries (one candidate's routing
+// side effects), so the slot sets are small sorted-insertion-free slices
+// scanned linearly — far cheaper than maps in the inner routing loop.
 type overlay struct {
-	claimed map[int64]bool // slots taken by this candidate
-	prods   map[int64]bool // productions added at (tile, cycle)
+	claimed []int64 // slots taken by this candidate
+	prods   []int64 // productions added at (tile, cycle)
 	holds   []holdAdd
 	regs    map[arch.TileID]int // registers tentatively allocated
-	retros  map[int64]bool      // slots claimed for a retrofitted writeback
+	retros  []int64             // slots claimed for a retrofitted writeback
 	consts  map[arch.TileID][]int32
 }
 
+// newOverlay returns an empty overlay; everything inside stays nil until
+// first written, so the routing search can discard most overlays without
+// ever touching the heap.
 func newOverlay() *overlay {
-	return &overlay{
-		claimed: map[int64]bool{},
-		prods:   map[int64]bool{},
-		regs:    map[arch.TileID]int{},
-		retros:  map[int64]bool{},
-		consts:  map[arch.TileID][]int32{},
-	}
+	return &overlay{}
 }
 
 func slotKey(t arch.TileID, c int) int64 { return int64(t)<<32 | int64(uint32(c)) }
 
-func (o *overlay) claim(t arch.TileID, c int, produces bool) {
-	o.claimed[slotKey(t, c)] = true
-	if produces {
-		o.prods[slotKey(t, c)] = true
+func containsKey(keys []int64, k int64) bool {
+	for _, x := range keys {
+		if x == k {
+			return true
+		}
 	}
+	return false
+}
+
+func (o *overlay) claim(t arch.TileID, c int, produces bool) {
+	o.claimed = append(o.claimed, slotKey(t, c))
+	if produces {
+		o.prods = append(o.prods, slotKey(t, c))
+	}
+}
+
+// addReg records a tentative register allocation on tile t.
+func (o *overlay) addReg(t arch.TileID) {
+	if o.regs == nil {
+		o.regs = map[arch.TileID]int{}
+	}
+	o.regs[t]++
 }
 
 func (o *overlay) merge(p routePlan) {
@@ -117,10 +134,13 @@ func (o *overlay) merge(p routePlan) {
 	}
 	o.holds = append(o.holds, p.Holds...)
 	if p.Retro != nil {
-		o.regs[p.Retro.Tile]++
-		o.retros[slotKey(p.Retro.Tile, p.Retro.Cycle)] = true
+		o.addReg(p.Retro.Tile)
+		o.retros = append(o.retros, slotKey(p.Retro.Tile, p.Retro.Cycle))
 	}
 	for _, c := range p.Consts {
+		if o.consts == nil {
+			o.consts = map[arch.TileID][]int32{}
+		}
 		o.consts[c.Tile] = append(o.consts[c.Tile], c.Val)
 	}
 }
@@ -143,6 +163,11 @@ type bbCtx struct {
 	liveOutValues map[cdfg.NodeID]bool
 	// cab enables constraint-aware binding (tile blacklisting).
 	cab bool
+	// pathCache memoizes paths() per (from, to) pair; hopsBuf is the
+	// scratch hop list reused across planChain calls. Both are pure
+	// allocation-avoidance: the block mapper is single-goroutine.
+	pathCache [][][]arch.TileID
+	hopsBuf   []arch.TileID
 }
 
 // free reports whether the slot is empty in both the partial and overlay.
@@ -150,7 +175,7 @@ func (cx *bbCtx) free(p *partial, o *overlay, t arch.TileID, c int) bool {
 	if c < 0 {
 		return false
 	}
-	if o != nil && o.claimed[slotKey(t, c)] {
+	if o != nil && containsKey(o.claimed, slotKey(t, c)) {
 		return false
 	}
 	return !p.tiles[t].occupied(c)
@@ -179,9 +204,12 @@ func (cx *bbCtx) outputLive(p *partial, o *overlay, t arch.TileID, prod, read in
 		return false
 	}
 	if o != nil {
-		for c := prod + 1; c < read; c++ {
-			if o.prods[slotKey(t, c)] {
-				return false
+		for _, k := range o.prods {
+			if arch.TileID(k>>32) == t {
+				c := int(int32(k))
+				if prod < c && c < read {
+					return false
+				}
 			}
 		}
 	}
@@ -250,7 +278,7 @@ func (cx *bbCtx) constOK(p *partial, o *overlay, t arch.TileID, v int32) (ok, is
 // retroClaimed reports whether a sibling plan of this candidate already
 // claimed the slot for a retrofitted writeback.
 func (cx *bbCtx) retroClaimed(o *overlay, t arch.TileID, c int) bool {
-	return o != nil && o.retros[slotKey(t, c)]
+	return o != nil && containsKey(o.retros, slotKey(t, c))
 }
 
 // dirFromTo returns the direction d such that the neighbor of `at` in
@@ -391,8 +419,25 @@ const (
 const retroPlaceholder uint8 = 0xff
 
 // paths returns the row-first and column-first shortest torus paths from a
-// to b (deduplicated when they coincide). Paths exclude a, include b.
+// to b (deduplicated when they coincide). Paths exclude a, include b. The
+// result depends only on the grid, so it is computed once per (a, b) pair
+// and cached — the routing search asks for the same pairs thousands of
+// times per block.
 func (cx *bbCtx) paths(a, b arch.TileID) [][]arch.TileID {
+	n := cx.grid.NumTiles()
+	if cx.pathCache == nil {
+		cx.pathCache = make([][][]arch.TileID, n*n)
+	}
+	key := int(a)*n + int(b)
+	if ps := cx.pathCache[key]; ps != nil {
+		return ps
+	}
+	ps := cx.computePaths(a, b)
+	cx.pathCache[key] = ps
+	return ps
+}
+
+func (cx *bbCtx) computePaths(a, b arch.TileID) [][]arch.TileID {
 	p1 := cx.grid.Path(a, b)
 	// Column-first: route via the intermediate corner.
 	ta, tb := cx.grid.Tile(a), cx.grid.Tile(b)
@@ -427,7 +472,11 @@ func samePath(a, b []arch.TileID) bool {
 // reading the register file (chainReg for homes and written-back temps,
 // chainRetro with a retrofitted writeback for register-less values).
 func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc arch.TileID, cc int, blacklist uint32, mode chainMode) (routePlan, bool) {
-	var hops []arch.TileID
+	// hops lives in a per-context scratch buffer: the slice is fully
+	// consumed before planChain returns (moveSteps copy the tile IDs), so
+	// reusing it across the thousands of candidate plans is safe.
+	hops := cx.hopsBuf[:0]
+	defer func() { cx.hopsBuf = hops[:0] }()
 	var srcReg uint8
 	var retro *wbRetro
 	minFirst := 0
@@ -517,8 +566,14 @@ func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc
 					if cyc-prod > cx.opt.MaxHold || !cx.outputLive(p, o, from, prod, cyc) {
 						return routePlan{}, false
 					}
+					if pl.Holds == nil {
+						pl.Holds = make([]holdAdd, 0, 2)
+					}
 					pl.Holds = append(pl.Holds, holdAdd{Tile: from, Prod: prod, Last: cyc})
 				}
+			}
+			if pl.Moves == nil {
+				pl.Moves = make([]moveStep, 0, len(hops))
 			}
 			pl.Moves = append(pl.Moves, moveStep{Tile: h, Cycle: cyc, Src: src})
 			cyc++
@@ -539,6 +594,9 @@ func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc
 			return routePlan{}, false
 		}
 		pl.Src = isa.Nbr(d)
+		if pl.Holds == nil {
+			pl.Holds = make([]holdAdd, 0, 2)
+		}
 		pl.Holds = append(pl.Holds, holdAdd{Tile: last, Prod: lastCycle, Last: cc})
 		pl.Retro = retro
 		pl.Cost = costMove * float64(len(hops))

@@ -1,0 +1,234 @@
+// Package oracle is the property-based differential-testing layer of the
+// repository: a seeded random CDFG generator (internal/cdfg.Generate), a
+// differential pipeline that maps each graph under every mapping mode ×
+// context-memory configuration, simulates the result, and compares the
+// final data memory against the reference interpreter, and a greedy
+// shrinker that minimizes any failing graph to a small reproducer.
+//
+// The paper's claim rests on every mapping variant producing semantically
+// identical programs whose only difference is context-memory cost; the
+// oracle checks exactly that on the long tail of graph shapes the seven
+// fixed kernels never reach.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Mode is one mapping variant of the differential matrix. Unlike
+// core.Flow it includes the weighted-traversal-only variant (the paper's
+// Fig 5 column), so the matrix covers basic, weighted, ACMAP, ECMAP, CAB.
+type Mode int
+
+const (
+	ModeBasic Mode = iota
+	ModeWeighted
+	ModeACMAP
+	ModeECMAP
+	ModeCAB
+	numModes
+)
+
+// Modes lists the five mapping variants in evaluation order.
+func Modes() []Mode {
+	return []Mode{ModeBasic, ModeWeighted, ModeACMAP, ModeECMAP, ModeCAB}
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeBasic:
+		return "basic"
+	case ModeWeighted:
+		return "weighted"
+	case ModeACMAP:
+		return "acmap"
+	case ModeECMAP:
+		return "ecmap"
+	case ModeCAB:
+		return "cab"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ModeByName returns the mode with the given String() name.
+func ModeByName(name string) (Mode, error) {
+	for _, m := range Modes() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("oracle: unknown mode %q", name)
+}
+
+// Options returns the mapper tuning for the mode.
+func (m Mode) Options() core.Options {
+	switch m {
+	case ModeBasic:
+		return core.DefaultOptions(core.FlowBasic)
+	case ModeWeighted:
+		opt := core.DefaultOptions(core.FlowBasic)
+		opt.Traversal = cdfg.TraverseWeighted
+		opt.ForceTraversal = true
+		return opt
+	case ModeACMAP:
+		return core.DefaultOptions(core.FlowACMAP)
+	case ModeECMAP:
+		return core.DefaultOptions(core.FlowECMAP)
+	default:
+		return core.DefaultOptions(core.FlowCAB)
+	}
+}
+
+// memoryAware reports whether the mode's flow enforces the context-memory
+// constraint during mapping.
+func (m Mode) memoryAware() bool { return m >= ModeACMAP }
+
+// Cell is one point of the differential matrix.
+type Cell struct {
+	Mode   Mode
+	Config arch.ConfigName
+}
+
+func (c Cell) String() string { return c.Mode.String() + "/" + string(c.Config) }
+
+// AllCells returns the full 5-mode × 4-configuration matrix.
+func AllCells() []Cell {
+	var cells []Cell
+	for _, m := range Modes() {
+		for _, cfg := range arch.ConfigNames() {
+			cells = append(cells, Cell{Mode: m, Config: cfg})
+		}
+	}
+	return cells
+}
+
+// Outcome classifies one cell check.
+type Outcome int
+
+const (
+	// Pass: the mapped program's final memory matched the interpreter.
+	Pass Outcome = iota
+	// NoMapping: the mapper failed cleanly ("no mapping solution"), an
+	// acceptable outcome the paper's Figs 6–8 also report.
+	NoMapping
+	// Overflow: a memory-unaware mode produced a mapping that does not
+	// fit the configuration's context memories; the program cannot be
+	// loaded, so nothing further is checked.
+	Overflow
+	// Diverged: the simulated final memory differed from the interpreter
+	// — a mapper, assembler or simulator bug.
+	Diverged
+	// Failed: a pipeline stage that must not fail did (assembling a
+	// validated mapping, an aware flow overflowing, a simulator error).
+	Failed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Pass:
+		return "pass"
+	case NoMapping:
+		return "no-mapping"
+	case Overflow:
+		return "overflow"
+	case Diverged:
+		return "diverged"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Bug reports whether the outcome indicates a correctness bug.
+func (o Outcome) Bug() bool { return o == Diverged || o == Failed }
+
+// CellResult is the outcome of checking one graph in one cell.
+type CellResult struct {
+	Cell    Cell
+	Outcome Outcome
+	// Err carries the divergence (a *sim.DivergenceError for Diverged)
+	// or failure detail; nil for Pass.
+	Err error
+	// Cycles is the simulated execution time of a run that completed.
+	Cycles int64
+}
+
+// Pipeline runs the differential check. The zero value is the production
+// pipeline; Mutate injects faults into the assembled program, which the
+// shrinker tests use to prove the oracle catches binding bugs.
+type Pipeline struct {
+	// Mutate, when non-nil, corrupts the assembled program between
+	// assembly and simulation.
+	Mutate func(*asm.Program)
+}
+
+// Check maps the graph in the given cell, assembles and simulates it, and
+// compares the final data memory against the reference interpreter.
+func (p *Pipeline) Check(g *cdfg.Graph, mem cdfg.Memory, cell Cell, seed int64) CellResult {
+	r := CellResult{Cell: cell}
+	opt := cell.Mode.Options()
+	opt.Seed = seed
+	m, err := core.Map(g, arch.MustGrid(cell.Config), opt)
+	if err != nil {
+		r.Outcome, r.Err = NoMapping, err
+		return r
+	}
+	if ok, tile := m.FitsMemory(); !ok {
+		if cell.Mode.memoryAware() {
+			r.Outcome = Failed
+			r.Err = fmt.Errorf("oracle: %s returned a mapping overflowing tile %d", cell, tile+1)
+		} else {
+			r.Outcome = Overflow
+			r.Err = fmt.Errorf("oracle: context overflow on tile %d", tile+1)
+		}
+		return r
+	}
+	prog, err := asm.Assemble(m)
+	if err != nil {
+		r.Outcome, r.Err = Failed, fmt.Errorf("oracle: assemble: %w", err)
+		return r
+	}
+	if p.Mutate != nil {
+		p.Mutate(prog)
+	}
+	s, err := sim.New(prog)
+	if err != nil {
+		r.Outcome, r.Err = Failed, fmt.Errorf("oracle: sim: %w", err)
+		return r
+	}
+	res, _, _, err := s.RunVerified(mem)
+	if res != nil {
+		r.Cycles = res.Cycles
+	}
+	if err != nil {
+		var div *sim.DivergenceError
+		if errors.As(err, &div) {
+			r.Outcome, r.Err = Diverged, err
+		} else {
+			r.Outcome, r.Err = Failed, err
+		}
+		return r
+	}
+	r.Outcome = Pass
+	return r
+}
+
+// CheckAll runs Check over the given cells (AllCells when nil) and
+// returns the per-cell results in order.
+func (p *Pipeline) CheckAll(g *cdfg.Graph, mem cdfg.Memory, cells []Cell, seed int64) []CellResult {
+	if cells == nil {
+		cells = AllCells()
+	}
+	out := make([]CellResult, len(cells))
+	for i, c := range cells {
+		out[i] = p.Check(g, mem, c, seed)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package oracle
+
+// raceEnabled trims the sweep sizes under the race detector, whose 4-5x
+// slowdown would otherwise dominate the CI race pass.
+const raceEnabled = true

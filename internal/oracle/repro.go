@@ -1,0 +1,143 @@
+package oracle
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/cdfg"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Reproducer files pair a minimized graph with its initial memory and a
+// human-readable diagnosis. They live under testdata/ and are replayed by
+// plain `go test`, so any failure the oracle ever shrank keeps guarding
+// the mapper. Format: '#' comment lines (the diagnosis), a "mem <len>"
+// line, "memval <addr> <val>" lines for the nonzero words, then the
+// cdfg text form.
+
+// FormatRepro renders a reproducer file. The failure parameter carries
+// the divergence diagnostics into the header; it may be zero-valued for
+// hand-written cases.
+func FormatRepro(g *cdfg.Graph, mem cdfg.Memory, seed int64, failure CellResult) ([]byte, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# oracle reproducer: %s (seed %d)\n", g.Name, seed)
+	if failure.Outcome.Bug() {
+		fmt.Fprintf(&sb, "# cell %s outcome %s\n", failure.Cell, failure.Outcome)
+		var div *sim.DivergenceError
+		if errors.As(failure.Err, &div) {
+			words := make([]trace.DivergentWord, len(div.Mismatches))
+			for i, m := range div.Mismatches {
+				words[i] = trace.DivergentWord{Addr: m.Addr, Ref: m.Ref, Got: m.Got}
+			}
+			for _, line := range strings.Split(strings.TrimRight(
+				trace.Divergence(g.Name, failure.Cell.Mode.String(), string(failure.Cell.Config),
+					div.Cycles, div.Total, words), "\n"), "\n") {
+				fmt.Fprintf(&sb, "# %s\n", line)
+			}
+		} else if failure.Err != nil {
+			fmt.Fprintf(&sb, "# error: %v\n", failure.Err)
+		}
+	}
+	fmt.Fprintf(&sb, "mem %d\n", len(mem))
+	for i, v := range mem {
+		if v != 0 {
+			fmt.Fprintf(&sb, "memval %d %d\n", i, v)
+		}
+	}
+	gtxt, err := g.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	sb.Write(gtxt)
+	return []byte(sb.String()), nil
+}
+
+// ParseRepro parses a reproducer: the mem directives plus the cdfg text.
+func ParseRepro(data []byte) (*cdfg.Graph, cdfg.Memory, error) {
+	var mem cdfg.Memory
+	var graphText bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		f := strings.Fields(line)
+		switch {
+		case len(f) > 0 && f[0] == "mem":
+			if len(f) != 2 {
+				return nil, nil, fmt.Errorf("oracle: mem wants a length")
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n < 0 || n > 1<<20 {
+				return nil, nil, fmt.Errorf("oracle: bad mem length %q", f[1])
+			}
+			mem = make(cdfg.Memory, n)
+		case len(f) > 0 && f[0] == "memval":
+			if len(f) != 3 {
+				return nil, nil, fmt.Errorf("oracle: memval wants an address and a value")
+			}
+			a, err1 := strconv.Atoi(f[1])
+			v, err2 := strconv.ParseInt(f[2], 10, 32)
+			if err1 != nil || err2 != nil || a < 0 || a >= len(mem) {
+				return nil, nil, fmt.Errorf("oracle: bad memval %q", line)
+			}
+			mem[a] = int32(v)
+		default:
+			graphText.WriteString(line)
+			graphText.WriteString("\n")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if mem == nil {
+		return nil, nil, fmt.Errorf("oracle: reproducer has no mem directive")
+	}
+	g, err := cdfg.UnmarshalText(graphText.Bytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, mem, nil
+}
+
+// WriteRepro writes a reproducer file into dir (created if needed) and
+// returns its path.
+func WriteRepro(dir, name string, g *cdfg.Graph, mem cdfg.Memory, seed int64, failure CellResult) (string, error) {
+	data, err := FormatRepro(g, mem, seed, failure)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".repro")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadRepro reads and parses a reproducer file.
+func LoadRepro(path string) (*cdfg.Graph, cdfg.Memory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ParseRepro(data)
+}
+
+// ReproPaths lists the .repro files under dir, sorted; a missing dir is
+// an empty list.
+func ReproPaths(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.repro"))
+	if err != nil {
+		return nil, err
+	}
+	return paths, nil
+}

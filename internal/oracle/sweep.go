@@ -1,0 +1,157 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/cdfg"
+)
+
+// SweepOptions tunes a differential sweep.
+type SweepOptions struct {
+	// N is the number of random graphs generated (min 1).
+	N int
+	// Seed is the base seed: graph i is generated from Seed+i and mapped
+	// with stochastic-pruning seed Seed+i, so any failure names the exact
+	// seed that reproduces it.
+	Seed int64
+	// Gen tunes the graph generator (DefaultGenConfig when zero).
+	Gen cdfg.GenConfig
+	// Cells is the matrix to check per graph (AllCells when nil).
+	Cells []Cell
+	// Workers bounds the concurrently checked graphs; 0 means
+	// runtime.GOMAXPROCS(0). Results are deterministic regardless.
+	Workers int
+}
+
+// GraphResult collects one generated graph's run across the matrix.
+type GraphResult struct {
+	Index int
+	Seed  int64
+	Graph *cdfg.Graph
+	Mem   cdfg.Memory
+	Cells []CellResult
+}
+
+// Bugs returns the cell results that indicate a correctness bug.
+func (g *GraphResult) Bugs() []CellResult {
+	var bugs []CellResult
+	for _, c := range g.Cells {
+		if c.Outcome.Bug() {
+			bugs = append(bugs, c)
+		}
+	}
+	return bugs
+}
+
+// SweepReport aggregates a differential sweep.
+type SweepReport struct {
+	Graphs  int
+	ByCell  map[Cell]map[Outcome]int
+	Checked int
+	// Failures holds every graph with at least one bug outcome, in
+	// generation order.
+	Failures []GraphResult
+}
+
+// Counts sums outcomes over the whole matrix.
+func (r *SweepReport) Counts() map[Outcome]int {
+	total := map[Outcome]int{}
+	for _, m := range r.ByCell {
+		for o, n := range m {
+			total[o] += n
+		}
+	}
+	return total
+}
+
+// String renders a per-cell outcome table.
+func (r *SweepReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "oracle sweep: %d graphs × %d cells\n", r.Graphs, len(r.ByCell))
+	cells := make([]Cell, 0, len(r.ByCell))
+	for c := range r.ByCell {
+		cells = append(cells, c)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Mode != cells[j].Mode {
+			return cells[i].Mode < cells[j].Mode
+		}
+		return cells[i].Config < cells[j].Config
+	})
+	for _, c := range cells {
+		m := r.ByCell[c]
+		fmt.Fprintf(&sb, "  %-14s pass %4d  no-mapping %3d  overflow %3d  bugs %d\n",
+			c, m[Pass], m[NoMapping], m[Overflow], m[Diverged]+m[Failed])
+	}
+	return sb.String()
+}
+
+// Sweep generates opt.N random graphs and checks each against every cell
+// of the matrix, fanning graphs out over a worker pool. The report is a
+// pure function of the options: workers only affect wall time.
+func (p *Pipeline) Sweep(opt SweepOptions) *SweepReport {
+	if opt.N < 1 {
+		opt.N = 1
+	}
+	if opt.Gen.MaxBodyOps == 0 { // zero value: fall back to the defaults
+		opt.Gen = cdfg.DefaultGenConfig()
+	}
+	cells := opt.Cells
+	if cells == nil {
+		cells = AllCells()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.N {
+		workers = opt.N
+	}
+
+	results := make([]GraphResult, opt.N)
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				seed := opt.Seed + int64(i)
+				g, mem := cdfg.Generate(rand.New(rand.NewSource(seed)), opt.Gen)
+				results[i] = GraphResult{
+					Index: i,
+					Seed:  seed,
+					Graph: g,
+					Mem:   mem,
+					Cells: p.CheckAll(g, mem, cells, seed),
+				}
+			}
+		}()
+	}
+	for i := 0; i < opt.N; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &SweepReport{Graphs: opt.N, ByCell: map[Cell]map[Outcome]int{}}
+	for _, c := range cells {
+		rep.ByCell[c] = map[Outcome]int{}
+	}
+	for i := range results {
+		gr := &results[i]
+		for _, c := range gr.Cells {
+			rep.ByCell[c.Cell][c.Outcome]++
+			rep.Checked++
+		}
+		if len(gr.Bugs()) > 0 {
+			rep.Failures = append(rep.Failures, *gr)
+		}
+	}
+	return rep
+}

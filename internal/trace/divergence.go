@@ -1,0 +1,38 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DivergentWord is one data-memory word where the CGRA execution
+// disagreed with the reference interpreter.
+type DivergentWord struct {
+	Addr int
+	Ref  int32 // interpreter value
+	Got  int32 // CGRA value
+}
+
+// Divergence renders a differential-oracle failure: which mode/config
+// cell diverged, the cycle count of the failing run, and the mismatched
+// words (first divergent word first). total is the full mismatch count
+// when words is capped.
+func Divergence(kernel, mode, config string, cycles int64, total int, words []DivergentWord) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "divergence: %s under %s on %s (%d cycles, %d divergent words)\n",
+		kernel, mode, config, cycles, total)
+	if len(words) == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "first divergent word: mem[%d] interpreter %d, CGRA %d\n",
+		words[0].Addr, words[0].Ref, words[0].Got)
+	t := NewTable("", "word", "interpreter", "cgra")
+	for _, w := range words {
+		t.Add(w.Addr, w.Ref, w.Got)
+	}
+	if total > len(words) {
+		t.Add("...", fmt.Sprintf("(+%d more)", total-len(words)), "")
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}

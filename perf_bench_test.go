@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// Performance-baseline microbenchmarks for the three pipeline stages the
+// oracle leans on hardest: mapping, portfolio mapping and simulation.
+// scripts/bench.sh runs these and records the numbers in BENCH_core.json
+// so a mapper change that regresses throughput shows up as a diff.
+
+func perfGrid() *arch.Grid { return arch.MustGrid(arch.HOM64) }
+
+func BenchmarkCoreMap(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		g := k.Build()
+		b.Run(k.Name, func(b *testing.B) {
+			opt := core.DefaultOptions(core.FlowCAB)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Map(g, perfGrid(), opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCoreMapPortfolio(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		g := k.Build()
+		b.Run(k.Name, func(b *testing.B) {
+			opt := core.DefaultOptions(core.FlowCAB)
+			popt := core.PortfolioOptions{NumSeeds: 4}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MapPortfolio(context.Background(), g, perfGrid(), opt, popt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimRun(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		g := k.Build()
+		m, err := core.Map(g, perfGrid(), core.DefaultOptions(core.FlowCAB))
+		if err != nil {
+			b.Fatalf("%s: map: %v", k.Name, err)
+		}
+		prog, err := asm.Assemble(m)
+		if err != nil {
+			b.Fatalf("%s: assemble: %v", k.Name, err)
+		}
+		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := sim.New(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(k.Init()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Performance baseline: runs the mapper/simulator benchmarks from
+# perf_bench_test.go and writes BENCH_core.json so mapper-speed
+# regressions show up as a diffable artifact, not an anecdote.
+#
+#   scripts/bench.sh             # full run, writes BENCH_core.json
+#   scripts/bench.sh -benchtime=100ms   # extra args forwarded to go test
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_core.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench 'BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun' -run NONE . $*"
+go test -bench 'BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun' \
+    -benchmem -run NONE . "$@" | tee "$raw"
+
+# Parse the standard go-bench output lines:
+#   BenchmarkCoreMap/FIR-8  123  9876543 ns/op  456 B/op  7 allocs/op
+awk '
+BEGIN { print "{"; print "  \"benchmarks\": [" ; n = 0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1; iters = $2; ns = $3
+    bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op")      bytes  = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, bytes, allocs
+}
+END {
+    if (n) printf "\n"
+    print "  ],"
+    print "  \"count\": " n
+    print "}"
+}' "$raw" > "$out"
+
+count=$(grep -c '"name"' "$out" || true)
+if [ "$count" -eq 0 ]; then
+    echo "bench.sh: no benchmark lines parsed" >&2
+    exit 1
+fi
+echo "wrote $out ($count benchmarks)"

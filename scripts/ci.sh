@@ -14,6 +14,15 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
+# Bounded differential-oracle smoke: a small seeded sweep of generated
+# CDFGs across every mode × CM config, run up front so a mapper or
+# simulator divergence fails fast, before the full suite (which runs the
+# unbounded 200-graph acceptance sweep) spends its time budget.
+sweep_n=25
+if [ -n "$short" ]; then sweep_n=10; fi
+echo "== oracle sweep (ORACLE_SWEEP_N=$sweep_n)"
+ORACLE_SWEEP_N=$sweep_n go test -run TestSweepClean ./internal/oracle
+
 echo "== go test $short ./..."
 go test $short ./...
 
