@@ -1,15 +1,25 @@
 # Developer entry points. `make ci` is what the scripts/ci.sh pipeline
-# runs: vet + build + tests + race-detector pass.
+# runs: vet + lint + build + tests + race-detector pass.
 
 GO ?= go
 
-.PHONY: build vet test test-short test-race bench bench-baseline ci
+.PHONY: build vet lint verify-kernels test test-short test-race bench bench-baseline bench-compare ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (internal/lint): determinism-sensitive
+# map iteration, nondeterminism in the mapper, dropped errors.
+lint:
+	$(GO) run ./cmd/cgralint ./...
+
+# Statically verify every kernel × config mapping the suite produces
+# (the internal/verify pass matrix; ~1 min).
+verify-kernels:
+	$(GO) test -run TestKernelMatrixClean -count=1 ./internal/verify
 
 test:
 	$(GO) test ./...
@@ -33,6 +43,11 @@ bench:
 # BENCH_core.json artifact for regression diffing.
 bench-baseline:
 	./scripts/bench.sh
+
+# Re-run the benchmarks and diff ns/op against the committed
+# BENCH_core.json baseline without overwriting it.
+bench-compare:
+	./scripts/bench.sh -compare
 
 ci:
 	./scripts/ci.sh

@@ -1,0 +1,85 @@
+// Command cgralint runs the repository's own static analysis
+// (internal/lint) over the module: determinism-sensitive map iteration,
+// nondeterminism sources inside the mapper, and dropped errors on
+// toolchain boundaries. It prints one finding per line as
+// path:line:col: rule: message and exits 1 when anything is found, so
+// CI can gate on it next to go vet.
+//
+// Usage:
+//
+//	cgralint [dir]
+//
+// dir (default ".") may be anywhere inside the module; the module root
+// is located by walking up to go.mod. A trailing "..." is accepted and
+// ignored — the whole module is always analyzed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cgralint [dir]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	n, err := run(os.Stdout, dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgralint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+// run analyzes the module containing dir and prints findings; it
+// returns the finding count.
+func run(w io.Writer, dir string) (int, error) {
+	dir = strings.TrimSuffix(dir, "...")
+	if dir == "" {
+		dir = "."
+	}
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return 0, err
+	}
+	findings, err := lint.Analyze(root, nil)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+	return len(findings), nil
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunOnThisModule gates the repository on its own linter: zero
+// findings, exit-clean.
+func TestRunOnThisModule(t *testing.T) {
+	var sb strings.Builder
+	n, err := run(&sb, "./...")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("module has %d lint findings:\n%s", n, sb.String())
+	}
+}
+
+// TestRunOnDirtyModule lints a throwaway module with a known violation
+// and checks the finding line format.
+func TestRunOnDirtyModule(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("main.go", `package main
+
+import "fmt"
+
+func main() {
+	m := map[string]int{"a": 1}
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+`)
+	var sb strings.Builder
+	n, err := run(&sb, dir)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("want 1 finding, got %d:\n%s", n, sb.String())
+	}
+	line := strings.TrimSpace(sb.String())
+	if !strings.Contains(line, "main.go:8:3: maprange:") {
+		t.Errorf("finding format: %q", line)
+	}
+}
+
+func TestModuleRootErrors(t *testing.T) {
+	if _, err := moduleRoot(os.TempDir()); err == nil {
+		t.Skip("a go.mod above the temp dir shadows this test")
+	}
+}

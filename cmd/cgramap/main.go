@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	cgramap -kernel MatM -config HET1 -flow cab [-listing] [-dot]
+//	cgramap -kernel MatM -config HET1 -flow cab [-verify] [-listing] [-dot]
 //	cgramap -kernel MatM -config HET1 -seeds 8 [-parallel 4]
 package main
 
@@ -29,6 +29,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/power"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // cliOptions collects the flag values so tests can drive run directly.
@@ -38,6 +39,7 @@ type cliOptions struct {
 	flow     string
 	listing  bool
 	dot      bool
+	verify   bool
 	seed     int64
 	seeds    int
 	parallel int
@@ -50,6 +52,7 @@ func main() {
 	flag.StringVar(&o.flow, "flow", "cab", "mapping flow: basic, acmap, ecmap, cab")
 	flag.BoolVar(&o.listing, "listing", false, "print the per-tile context disassembly")
 	flag.BoolVar(&o.dot, "dot", false, "print the kernel CDFG in Graphviz DOT form and exit")
+	flag.BoolVar(&o.verify, "verify", false, "assemble and statically verify the mapping, reporting per-pass verdicts")
 	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
 	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
 	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
@@ -135,12 +138,21 @@ func run(w io.Writer, o cliOptions) error {
 		h := m.SymHomes[s]
 		fmt.Fprintf(w, "symbol %-8s -> tile %d r%d\n", s, h.Tile+1, h.Reg)
 	}
-	if o.listing {
-		prog, err := asm.Assemble(m)
-		if err != nil {
+	var prog *asm.Program
+	if o.listing || o.verify {
+		if prog, err = asm.Assemble(m); err != nil {
 			return err
 		}
+	}
+	if o.listing {
 		fmt.Fprint(w, asm.Listing(prog))
+	}
+	if o.verify {
+		vres := verify.Run(&verify.Context{Graph: g, Grid: grid, Mapping: m, Program: prog})
+		fmt.Fprintf(w, "static verification (%d passes):\n%s", len(vres.Ran), vres.Report())
+		if err := vres.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -60,6 +60,23 @@ func TestRunDotAndListing(t *testing.T) {
 	}
 }
 
+func TestRunVerifySmoke(t *testing.T) {
+	var sb strings.Builder
+	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, verify: true}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"static verification", "dataflow", "encode", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") || strings.Contains(out, "skipped") {
+		t.Errorf("verify on a mapped kernel should run every pass cleanly:\n%s", out)
+	}
+}
+
 func TestRunRejectsBadInputs(t *testing.T) {
 	var sb strings.Builder
 	for _, o := range []cliOptions{

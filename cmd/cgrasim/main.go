@@ -29,6 +29,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/verify"
 )
 
 // cliOptions collects the flag values so tests can drive run directly.
@@ -37,6 +38,7 @@ type cliOptions struct {
 	config   string
 	flow     string
 	withCPU  bool
+	verify   bool
 	seed     int64
 	seeds    int
 	parallel int
@@ -48,6 +50,7 @@ func main() {
 	flag.StringVar(&o.config, "config", "HOM64", "CGRA configuration: HOM64, HOM32, HET1, HET2")
 	flag.StringVar(&o.flow, "flow", "cab", "mapping flow: basic, acmap, ecmap, cab")
 	flag.BoolVar(&o.withCPU, "cpu", false, "also run the or1k CPU baseline")
+	flag.BoolVar(&o.verify, "verify", false, "statically verify mapping and bitstream before simulating")
 	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
 	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
 	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
@@ -109,6 +112,13 @@ func run(w io.Writer, o cliOptions) error {
 	if err != nil {
 		return err
 	}
+	if o.verify {
+		vres := verify.Run(&verify.Context{Graph: g, Grid: grid, Mapping: m, Program: prog})
+		fmt.Fprintf(w, "static verification (%d passes):\n%s", len(vres.Ran), vres.Report())
+		if err := vres.Err(); err != nil {
+			return err
+		}
+	}
 	s, err := sim.New(prog)
 	if err != nil {
 		return err
@@ -117,12 +127,7 @@ func run(w io.Writer, o cliOptions) error {
 	if err != nil {
 		var div *sim.DivergenceError
 		if errors.As(err, &div) {
-			words := make([]trace.DivergentWord, len(div.Mismatches))
-			for i, m := range div.Mismatches {
-				words[i] = trace.DivergentWord{Addr: m.Addr, Ref: m.Ref, Got: m.Got}
-			}
-			fmt.Fprint(w, trace.Divergence(div.Kernel, flow.String(), grid.Name,
-				div.Cycles, div.Total, words))
+			fmt.Fprint(w, divergenceReport(div, flow.String()))
 		}
 		return err
 	}
@@ -151,4 +156,14 @@ func run(w io.Writer, o cliOptions) error {
 			float64(cres.Cycles)/float64(res.Cycles), ce.Total()/e.Total())
 	}
 	return nil
+}
+
+// divergenceReport renders a simulator/interpreter divergence the way
+// cgrasim prints it: the trace-package table of divergent memory words.
+func divergenceReport(div *sim.DivergenceError, flow string) string {
+	words := make([]trace.DivergentWord, len(div.Mismatches))
+	for i, m := range div.Mismatches {
+		words[i] = trace.DivergentWord{Addr: m.Addr, Ref: m.Ref, Got: m.Got}
+	}
+	return trace.Divergence(div.Kernel, flow, div.Config, div.Cycles, div.Total, words)
 }

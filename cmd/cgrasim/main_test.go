@@ -4,6 +4,8 @@ import (
 	"os/exec"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func TestRunFIRSmoke(t *testing.T) {
@@ -31,6 +33,52 @@ func TestRunPortfolioWithCPUBaseline(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output misses %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunVerifySmoke(t *testing.T) {
+	var sb strings.Builder
+	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, seeds: 1, verify: true}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"static verification", "dataflow", "encode", "ok", "verified OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "FAIL") || strings.Contains(out, "skipped") {
+		t.Errorf("verify run on a full context should be clean:\n%s", out)
+	}
+}
+
+// TestDivergenceReportGolden pins the failure printout users see when a
+// simulated run diverges from the interpreter.
+func TestDivergenceReportGolden(t *testing.T) {
+	div := &sim.DivergenceError{
+		Kernel: "FIR",
+		Config: "HOM32",
+		Mismatches: []sim.Mismatch{
+			{Addr: 3, Ref: 10, Got: -1},
+			{Addr: 17, Ref: 0, Got: 255},
+		},
+		Total:  5,
+		Cycles: 1234,
+	}
+	got := divergenceReport(div, "cab")
+	want := strings.Join([]string{
+		"divergence: FIR under cab on HOM32 (1234 cycles, 5 divergent words)",
+		"first divergent word: mem[3] interpreter 10, CGRA -1",
+		"word  interpreter  cgra",
+		"-----------------------",
+		"3     10           -1  ",
+		"17    0            255 ",
+		"...   (+3 more)        ",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("divergence report changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

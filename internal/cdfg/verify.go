@@ -64,7 +64,9 @@ func verifyBlock(g *Graph, b *BasicBlock) error {
 			return fmt.Errorf("n%d: sym node without a name", n.ID)
 		}
 	}
-	for s, id := range b.LiveOut {
+	// Sorted keys keep the first-reported violation deterministic.
+	for _, s := range b.LiveOutSyms() {
+		id := b.LiveOut[s]
 		if id < 0 || int(id) >= len(b.Nodes) {
 			return fmt.Errorf("live-out %q: node n%d out of range", s, id)
 		}

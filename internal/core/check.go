@@ -1,170 +1,33 @@
 package core
 
-import (
-	"fmt"
+import "fmt"
 
-	"repro/internal/arch"
-	"repro/internal/cdfg"
-	"repro/internal/isa"
-)
+// The symbolic dataflow engine lives in internal/verify (the "dataflow"
+// pass of the static mapping verifier), which imports this package for
+// the Mapping types — so core reaches it through a registered hook
+// instead of an import. internal/verify installs the hook from its
+// init, meaning any binary that links the verifier (the cmds, the
+// oracle, the tests) gets the dataflow post-condition automatically.
+var dataflowCheck func(*Mapping) error
 
-// valID identifies the value an architectural location holds during the
-// symbolic dataflow check: a node's result, a symbol's block-entry value,
-// or a literal constant.
-type valID struct {
-	kind byte // 'n' node, 's' symbol, 'c' const, 0 unknown
-	node cdfg.NodeID
-	sym  string
-	c    int32
-}
-
-func (v valID) String() string {
-	switch v.kind {
-	case 'n':
-		return fmt.Sprintf("n%d", v.node)
-	case 's':
-		return "sym:" + v.sym
-	case 'c':
-		return fmt.Sprintf("#%d", v.c)
-	}
-	return "?"
-}
+// RegisterDataflowCheck installs the dataflow verifier implementation.
+// It is called from internal/verify's init; later registrations replace
+// earlier ones.
+func RegisterDataflowCheck(f func(*Mapping) error) { dataflowCheck = f }
 
 // CheckDataflow symbolically executes every block schedule of the mapping
 // and verifies that each instruction's operand sources actually deliver
 // the values the CDFG prescribes: neighbor reads see the producer's value
 // still live on the output register, register reads see the right
 // register content, symbol homes hold their entry values until the
-// writeback, and every live-out symbol ends in its home register. It is
-// the mapper's strongest internal consistency check, independent of the
-// simulator.
+// writeback, and every live-out symbol ends in its home register.
+//
+// It is a thin compatibility wrapper over internal/verify's dataflow
+// pass and requires that package to be linked (any import, including a
+// blank one, suffices).
 func CheckDataflow(m *Mapping) error {
-	for _, bm := range m.Blocks {
-		if err := checkBlockDataflow(m, bm); err != nil {
-			return fmt.Errorf("core: block %q: %w", m.Graph.Blocks[bm.BB].Name, err)
-		}
+	if dataflowCheck == nil {
+		return fmt.Errorf("core: dataflow checker not linked; import repro/internal/verify to install it")
 	}
-	return nil
-}
-
-func checkBlockDataflow(m *Mapping, bm *BlockMapping) error {
-	b := m.Graph.Blocks[bm.BB]
-	n := m.Grid.NumTiles()
-	rrf := m.Grid.RRFSize
-
-	// expected value of a node used as an operand.
-	expect := func(id cdfg.NodeID) valID {
-		nd := b.Nodes[id]
-		switch nd.Op {
-		case cdfg.OpConst:
-			return valID{kind: 'c', c: nd.Val}
-		case cdfg.OpSym:
-			return valID{kind: 's', sym: nd.Sym}
-		default:
-			return valID{kind: 'n', node: id}
-		}
-	}
-
-	out := make([]valID, n)
-	rf := make([][]valID, n)
-	for t := range rf {
-		rf[t] = make([]valID, rrf)
-	}
-	// Symbol homes hold their entry values at block start.
-	homeOf := map[string]SymLoc{}
-	for s, h := range m.SymHomes {
-		rf[h.Tile][h.Reg] = valID{kind: 's', sym: s}
-		homeOf[s] = h
-	}
-
-	resolve := func(t int, src isa.Src, prevOut []valID) (valID, error) {
-		switch src.Kind {
-		case isa.SrcConst:
-			return valID{kind: 'c', c: src.Val}, nil
-		case isa.SrcReg:
-			return rf[t][src.Reg], nil
-		case isa.SrcSelf:
-			return prevOut[t], nil
-		case isa.SrcNbr:
-			nb := m.Grid.Neighbors(arch.TileID(t))[src.Dir]
-			return prevOut[nb], nil
-		}
-		return valID{}, fmt.Errorf("tile %d: unresolvable source %v", t+1, src)
-	}
-
-	for c := 0; c < bm.Len; c++ {
-		prevOut := append([]valID(nil), out...)
-		for t := 0; t < n; t++ {
-			s := bm.Tiles[t][c]
-			if s.Kind == SlotEmpty {
-				continue
-			}
-			var want []valID
-			switch s.Kind {
-			case SlotOp:
-				nd := b.Nodes[s.Node]
-				want = make([]valID, len(nd.Args))
-				for i, a := range nd.Args {
-					want[i] = expect(a)
-				}
-			case SlotMove:
-				want = []valID{expect(s.Node)}
-			}
-			for i := 0; i < s.NSrc; i++ {
-				got, err := resolve(t, s.Srcs[i], prevOut)
-				if err != nil {
-					return err
-				}
-				if got != want[i] {
-					return fmt.Errorf("cycle %d tile %d %v: operand %d reads %v via %v, want %v",
-						c, t+1, s, i, got, s.Srcs[i], want[i])
-				}
-			}
-			// Commit the result.
-			var res valID
-			produce := false
-			switch s.Kind {
-			case SlotOp:
-				if b.Nodes[s.Node].Op.HasResult() {
-					res = valID{kind: 'n', node: s.Node}
-					produce = true
-				}
-			case SlotMove:
-				res = expect(s.Node)
-				produce = true
-			}
-			if produce {
-				out[t] = res
-				if s.WB {
-					rf[t][s.WReg] = res
-				}
-			} else if s.WB {
-				return fmt.Errorf("cycle %d tile %d: writeback on value-less %v", c, t+1, s)
-			}
-		}
-	}
-
-	// Every live-out symbol must end in its home register, and every home
-	// the block does not write must be preserved — a temp clobbering a
-	// home register pinned by another block corrupts the symbol at
-	// runtime.
-	for _, s := range b.LiveOutSyms() {
-		if _, ok := m.SymHomes[s]; !ok {
-			return fmt.Errorf("live-out symbol %q has no home", s)
-		}
-	}
-	for s, h := range homeOf {
-		got := rf[h.Tile][h.Reg]
-		var want valID
-		if def, ok := b.LiveOut[s]; ok {
-			want = expect(def)
-		} else {
-			want = valID{kind: 's', sym: s}
-		}
-		if got != want {
-			return fmt.Errorf("symbol %q home (tile %d, r%d) holds %v at block end, want %v",
-				s, h.Tile+1, h.Reg, got, want)
-		}
-	}
-	return nil
+	return dataflowCheck(m)
 }

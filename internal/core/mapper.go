@@ -147,9 +147,13 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		}
 	}
 	// The symbolic dataflow check is a hard post-condition: a mapping that
-	// fails it would compute wrong values on the array.
-	if err := CheckDataflow(m); err != nil {
-		return nil, fmt.Errorf("core: mapping of %q is not dataflow-consistent: %w", g.Name, err)
+	// fails it would compute wrong values on the array. It runs whenever
+	// internal/verify is linked (see RegisterDataflowCheck); sim.RunVerified
+	// remains the dynamic backstop in binaries that omit the verifier.
+	if dataflowCheck != nil {
+		if err := dataflowCheck(m); err != nil {
+			return nil, fmt.Errorf("core: mapping of %q is not dataflow-consistent: %w", g.Name, err)
+		}
 	}
 	return m, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/arch"
@@ -223,7 +224,14 @@ func (m *Mapping) Validate() error {
 			}
 		}
 	}
-	for s, loc := range m.SymHomes {
+	// Walk homes in sorted order so the reported symbol is deterministic.
+	syms := make([]string, 0, len(m.SymHomes))
+	for s := range m.SymHomes {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	for _, s := range syms {
+		loc := m.SymHomes[s]
 		if int(loc.Tile) >= m.Grid.NumTiles() || int(loc.Reg) >= m.Grid.RRFSize {
 			return fmt.Errorf("core: symbol %q home out of range: %+v", s, loc)
 		}

@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// analyzeSrc type-checks one synthetic file as a module package and
+// runs the full rule set over it.
+func analyzeSrc(t *testing.T, pkgPath, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(pkgPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("fixture does not type-check: %v", err)
+	}
+	p := &Package{Path: pkgPath, Module: "repro", Fset: fset, Files: []*ast.File{f}, Info: info, Types: tpkg}
+	return check(p, Rules())
+}
+
+// rulesOf extracts the distinct rule names of the findings.
+func rulesOf(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Rule]++
+	}
+	return m
+}
+
+func TestMaprangeFlagsSinks(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/demo", `package demo
+
+import "fmt"
+
+func Output(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // sink: output
+	}
+}
+
+func Early(m map[string]int) int {
+	for _, v := range m {
+		if v > 0 {
+			return v // sink: non-constant return
+		}
+	}
+	return 0
+}
+
+func Break(m map[string]int, limit int) {
+	n := 0
+	for range m {
+		n++
+		if n == limit {
+			break // sink: loop exit
+		}
+	}
+	_ = n
+}
+
+func Send(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // sink: send order
+	}
+}
+
+func Collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // sink: unsorted accumulation
+	}
+	return out
+}
+`)
+	got := rulesOf(fs)
+	if got["maprange"] != 5 {
+		t.Errorf("want 5 maprange findings, got %d:\n%v", got["maprange"], fs)
+	}
+}
+
+func TestMaprangeAllowsOrderIndependentWork(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/demo", `package demo
+
+import "sort"
+
+// Sum accumulates commutatively: order-independent.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys appends but sorts before anyone sees the slice.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Found returns a constant: whichever iteration hits, the answer is
+// the same.
+func Found(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// NestedBreak only exits the inner (slice) loop.
+func NestedBreak(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v < 0 {
+				break
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+// LocalAppend's slice dies with the iteration.
+func LocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var pos []int
+		for _, v := range vs {
+			if v > 0 {
+				pos = append(pos, v)
+			}
+		}
+		n += len(pos)
+	}
+	return n
+}
+`)
+	if len(fs) != 0 {
+		t.Errorf("clean fixture produced findings:\n%v", fs)
+	}
+}
+
+func TestDetrandFlagsGlobalRandAndClock(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/core", `package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad() int {
+	if time.Now().Unix()%2 == 0 { // flagged: wall clock steers behavior
+		return rand.Intn(10) // flagged: global source
+	}
+	return 0
+}
+
+func Good(seed int64) (int, time.Duration) {
+	start := time.Now() // ok: only feeds time.Since
+	rng := rand.New(rand.NewSource(seed))
+	v := rng.Intn(10)
+	return v, time.Since(start)
+}
+`)
+	got := rulesOf(fs)
+	if got["detrand"] != 2 {
+		t.Errorf("want 2 detrand findings, got %d:\n%v", got["detrand"], fs)
+	}
+}
+
+func TestDetrandScopedToCore(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/elsewhere", `package elsewhere
+
+import "math/rand"
+
+func Free() int { return rand.Intn(10) }
+`)
+	if got := rulesOf(fs); got["detrand"] != 0 {
+		t.Errorf("detrand must only apply to internal/core:\n%v", fs)
+	}
+}
+
+func TestErrcheckFlagsDroppedModuleErrors(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/demo", `package demo
+
+import "fmt"
+
+func encode() error { return nil }
+func decode() (int, error) { return 0, nil }
+
+func Bad() {
+	encode() // flagged: dropped error
+}
+
+func Good() error {
+	if err := encode(); err != nil {
+		return err
+	}
+	_ = encode() // explicit waiver
+	v, err := decode()
+	fmt.Println(v) // stdlib: exempt
+	return err
+}
+`)
+	got := rulesOf(fs)
+	if got["errcheck"] != 1 {
+		t.Errorf("want 1 errcheck finding, got %d:\n%v", got["errcheck"], fs)
+	}
+}
+
+// TestRepoIsClean is the acceptance property: the module's own non-test
+// sources carry zero findings. Any new violation fails `go test` and CI
+// (scripts/ci.sh also runs cgralint).
+func TestRepoIsClean(t *testing.T) {
+	fs, err := Analyze("../..", nil)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestAnalyzeSortsFindings(t *testing.T) {
+	fs := []Finding{
+		{Pos: token.Position{Filename: "b.go", Line: 2}, Rule: "x"},
+		{Pos: token.Position{Filename: "a.go", Line: 9}, Rule: "x"},
+		{Pos: token.Position{Filename: "a.go", Line: 3, Column: 7}, Rule: "x"},
+		{Pos: token.Position{Filename: "a.go", Line: 3, Column: 1}, Rule: "x"},
+	}
+	sortFindings(fs)
+	var got []string
+	for _, f := range fs {
+		got = append(got, f.String())
+	}
+	want := []string{
+		"a.go:3:1: x: ",
+		"a.go:3:7: x: ",
+		"a.go:9: x: ",
+		"b.go:2: x: ",
+	}
+	for i := range want {
+		if !strings.HasPrefix(got[i], want[i][:len(want[i])-3]) {
+			t.Fatalf("order %d: got %q", i, got[i])
+		}
+	}
+}
+
+func TestRulesMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range Rules() {
+		if r.Name == "" || r.Doc == "" || r.Check == nil {
+			t.Errorf("rule %+v misses metadata", r)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+}

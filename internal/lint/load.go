@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader parses and type-checks the module's non-test packages without
+// golang.org/x/tools: module packages are resolved from source through
+// the loader itself, standard-library imports through the compiler's
+// source importer.
+type loader struct {
+	root   string // module root (directory containing go.mod)
+	module string // module path from go.mod
+	fset   *token.FileSet
+	dirs   map[string]string // import path -> directory
+	pkgs   map[string]*Package
+	std    types.Importer
+}
+
+func newLoader(root string) (*loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &loader{
+		root:   abs,
+		module: mod,
+		fset:   fset,
+		dirs:   map[string]string{},
+		pkgs:   map[string]*Package{},
+		std:    importer.ForCompiler(fset, "source", nil),
+	}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %s is not a module root: %w", root, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// scan maps every directory holding non-test Go sources to its import
+// path.
+func (l *loader) scan() error {
+	return filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		srcs, err := sourceFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(srcs) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		imp := l.module
+		if rel != "." {
+			imp = l.module + "/" + filepath.ToSlash(rel)
+		}
+		l.dirs[imp] = path
+		return nil
+	})
+}
+
+// sourceFiles lists a directory's non-test Go files, sorted.
+func sourceFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// allPackages returns every scanned import path, sorted.
+func (l *loader) allPackages() ([]string, error) {
+	paths := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// Import implements types.Importer: module packages load through the
+// loader (recursively), everything else through the stdlib source
+// importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package, memoized.
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirs[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown package %s", path)
+	}
+	srcs, err := sourceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(srcs))
+	for _, src := range srcs {
+		f, err := parser.ParseFile(l.fset, src, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: path, Module: l.module, Fset: l.fset, Files: files, Info: info, Types: tpkg}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/verify"
 )
 
 // Mode is one mapping variant of the differential matrix. Unlike
@@ -128,6 +129,11 @@ const (
 	// Failed: a pipeline stage that must not fail did (assembling a
 	// validated mapping, an aware flow overflowing, a simulator error).
 	Failed
+	// Illegal: the static verifier (internal/verify) rejected the mapping
+	// or assembled program. A bitstream that simulates correctly but fails
+	// static verification is still a bug — either in the mapper or in a
+	// verifier pass — so Illegal counts as one.
+	Illegal
 )
 
 func (o Outcome) String() string {
@@ -142,12 +148,14 @@ func (o Outcome) String() string {
 		return "diverged"
 	case Failed:
 		return "failed"
+	case Illegal:
+		return "illegal"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
 
 // Bug reports whether the outcome indicates a correctness bug.
-func (o Outcome) Bug() bool { return o == Diverged || o == Failed }
+func (o Outcome) Bug() bool { return o == Diverged || o == Failed || o == Illegal }
 
 // CellResult is the outcome of checking one graph in one cell.
 type CellResult struct {
@@ -161,11 +169,17 @@ type CellResult struct {
 }
 
 // Pipeline runs the differential check. The zero value is the production
-// pipeline; Mutate injects faults into the assembled program, which the
-// shrinker tests use to prove the oracle catches binding bugs.
+// pipeline; MutateMapping and Mutate inject faults, which the shrinker
+// and fault-injection tests use to prove the oracle catches binding bugs.
 type Pipeline struct {
+	// MutateMapping, when non-nil, corrupts the mapping between the
+	// memory-fit check and assembly — upstream of the static verifier, so
+	// structural faults it plants surface as Illegal.
+	MutateMapping func(*core.Mapping)
 	// Mutate, when non-nil, corrupts the assembled program between
-	// assembly and simulation.
+	// assembly and simulation. The static verifier runs before Mutate (it
+	// judges the genuine toolchain output, not the injected fault), so
+	// these corruptions surface dynamically as Diverged.
 	Mutate func(*asm.Program)
 }
 
@@ -190,9 +204,19 @@ func (p *Pipeline) Check(g *cdfg.Graph, mem cdfg.Memory, cell Cell, seed int64) 
 		}
 		return r
 	}
+	if p.MutateMapping != nil {
+		p.MutateMapping(m)
+	}
 	prog, err := asm.Assemble(m)
 	if err != nil {
 		r.Outcome, r.Err = Failed, fmt.Errorf("oracle: assemble: %w", err)
+		return r
+	}
+	// Static legality is part of the differential property: a program that
+	// would simulate correctly but fails verification is still a bug
+	// (in the mapper or in a verifier pass) and gets shrunk like one.
+	if vres := verify.Run(&verify.Context{Graph: g, Mapping: m, Program: prog}); !vres.OK() {
+		r.Outcome, r.Err = Illegal, fmt.Errorf("oracle: static verification: %w", vres.Err())
 		return r
 	}
 	if p.Mutate != nil {

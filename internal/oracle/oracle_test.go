@@ -7,11 +7,13 @@ import (
 	"path/filepath"
 	"reflect"
 	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/asm"
 	"repro/internal/cdfg"
+	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/sim"
 )
@@ -49,7 +51,7 @@ func TestOutcomeClassification(t *testing.T) {
 		bug bool
 	}{
 		{Pass, false}, {NoMapping, false}, {Overflow, false},
-		{Diverged, true}, {Failed, true},
+		{Diverged, true}, {Failed, true}, {Illegal, true},
 	} {
 		if tc.o.Bug() != tc.bug {
 			t.Errorf("%s.Bug() = %v, want %v", tc.o, tc.o.Bug(), tc.bug)
@@ -227,6 +229,73 @@ func TestFaultInjectionShrinks(t *testing.T) {
 			t.Fatalf("WriteRepro: %v", err)
 		}
 		t.Logf("wrote %s", path)
+	}
+}
+
+// corruptWriteback retargets the first writeback in the mapping to a
+// register beyond the 8-entry RRF. The mapping stays structurally valid
+// (core.Validate and the assembler accept it; the encoding has 4 register
+// bits) but is statically illegal — the class of fault only the verifier
+// catches before hardware would silently truncate or trap.
+func corruptWriteback(m *core.Mapping) {
+	for _, bm := range m.Blocks {
+		for t := range bm.Tiles {
+			for c := range bm.Tiles[t] {
+				s := &bm.Tiles[t][c]
+				if s.Kind != core.SlotEmpty && s.WB {
+					s.WReg = 15
+					return
+				}
+			}
+		}
+	}
+}
+
+// TestIllegalClassification plants a mapping-level fault upstream of the
+// static verifier and checks the oracle classifies it as Illegal — a bug
+// outcome the shrinker minimizes like a divergence.
+func TestIllegalClassification(t *testing.T) {
+	cell := Cell{Mode: ModeBasic, Config: arch.ConfigNames()[0]}
+	clean := &Pipeline{}
+	faulty := &Pipeline{MutateMapping: corruptWriteback}
+
+	gen := cdfg.DefaultGenConfig()
+	gen.MaxBodyOps = 5
+	var g *cdfg.Graph
+	var mem cdfg.Memory
+	var seed int64
+	for s := int64(6000); s < 6050; s++ {
+		cg, cmem := cdfg.Generate(rand.New(rand.NewSource(s)), gen)
+		if clean.Check(cg, cmem, cell, s).Outcome != Pass {
+			continue
+		}
+		if faulty.Check(cg, cmem, cell, s).Outcome == Illegal {
+			g, mem, seed = cg, cmem, s
+			break
+		}
+	}
+	if g == nil {
+		t.Fatal("no seed in [6000,6050) exposes the writeback fault as Illegal")
+	}
+
+	res := faulty.Check(g, mem, cell, seed)
+	if !res.Outcome.Bug() {
+		t.Fatalf("Illegal must classify as a bug, got %s", res.Outcome)
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "static verification") {
+		t.Fatalf("Illegal result should carry the verifier error, got %v", res.Err)
+	}
+
+	fails := func(cg *cdfg.Graph, cmem cdfg.Memory) bool {
+		return faulty.Check(cg, cmem, cell, seed).Outcome == Illegal
+	}
+	small := Shrink(g, mem, fails, 0)
+	t.Logf("shrunk %d nodes -> %d nodes", g.NumNodes(), small.NumNodes())
+	if !fails(small, mem) {
+		t.Fatal("shrunk graph no longer verifies as Illegal")
+	}
+	if got := clean.Check(small, mem, cell, seed).Outcome; got != Pass {
+		t.Fatalf("shrunk graph is %s under the clean pipeline, want pass", got)
 	}
 }
 

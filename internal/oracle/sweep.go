@@ -86,7 +86,7 @@ func (r *SweepReport) String() string {
 	for _, c := range cells {
 		m := r.ByCell[c]
 		fmt.Fprintf(&sb, "  %-14s pass %4d  no-mapping %3d  overflow %3d  bugs %d\n",
-			c, m[Pass], m[NoMapping], m[Overflow], m[Diverged]+m[Failed])
+			c, m[Pass], m[NoMapping], m[Overflow], m[Diverged]+m[Failed]+m[Illegal])
 	}
 	return sb.String()
 }

@@ -73,11 +73,30 @@ type Sim struct {
 	// expanded[bb][tile] is the per-cycle instruction grid (nil = idle),
 	// decoded once from the segments.
 	expanded [][][]*isa.Instr
+	// maxMismatches caps the divergent words a RunVerified failure records.
+	maxMismatches int
+}
+
+// Option configures a simulator instance.
+type Option func(*Sim)
+
+// WithMaxMismatches caps how many divergent words RunVerified records in a
+// DivergenceError (the total is always counted). Values < 1 keep the
+// default.
+func WithMaxMismatches(n int) Option {
+	return func(s *Sim) {
+		if n >= 1 {
+			s.maxMismatches = n
+		}
+	}
 }
 
 // New prepares a simulator for the program.
-func New(p *asm.Program) (*Sim, error) {
-	s := &Sim{prog: p, net: interconnect.New(p.Grid)}
+func New(p *asm.Program, opts ...Option) (*Sim, error) {
+	s := &Sim{prog: p, net: interconnect.New(p.Grid), maxMismatches: DefaultMaxMismatches}
+	for _, o := range opts {
+		o(s)
+	}
 	nb := len(p.Graph.Blocks)
 	s.expanded = make([][][]*isa.Instr, nb)
 	for bb := 0; bb < nb; bb++ {

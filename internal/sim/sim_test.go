@@ -1,11 +1,14 @@
 package sim_test
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/asm"
+	"repro/internal/cdfg"
 	"repro/internal/core"
+	"repro/internal/isa"
 	"repro/internal/kernels"
 	"repro/internal/sim"
 )
@@ -82,6 +85,62 @@ func TestKernelsOnCGRA(t *testing.T) {
 				t.Errorf("block executions: sim %d vs interp %d", blocks, tr.Blocks)
 			}
 		})
+	}
+}
+
+// TestMaxMismatchesOption forces a divergence by corrupting every store's
+// value operand and checks that WithMaxMismatches caps the recorded words
+// while Total still counts all of them.
+func TestMaxMismatchesOption(t *testing.T) {
+	k, err := kernels.ByName("FIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Map(k.Build(), arch.MustGrid(arch.HOM64), core.DefaultOptions(core.FlowCAB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range prog.Tiles {
+		for si := range prog.Tiles[ti].Segments {
+			instrs := prog.Tiles[ti].Segments[si].Instrs
+			for ii := range instrs {
+				if instrs[ii].Kind == isa.KOp && instrs[ii].Op == cdfg.OpStore {
+					instrs[ii].Srcs[1] = isa.Const(0x5aa5a5)
+				}
+			}
+		}
+	}
+	run := func(t *testing.T, opts ...sim.Option) *sim.DivergenceError {
+		t.Helper()
+		s, err := sim.New(prog, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, err = s.RunVerified(k.Init())
+		var div *sim.DivergenceError
+		if !errors.As(err, &div) {
+			t.Fatalf("corrupted stores must diverge, got %v", err)
+		}
+		return div
+	}
+	full := run(t)
+	if full.Total <= 2 {
+		t.Fatalf("need > 2 divergent words to test the cap, got %d", full.Total)
+	}
+	capped := run(t, sim.WithMaxMismatches(2))
+	if len(capped.Mismatches) != 2 {
+		t.Errorf("cap 2 recorded %d mismatches", len(capped.Mismatches))
+	}
+	if capped.Total != full.Total {
+		t.Errorf("Total must be cap-independent: %d vs %d", capped.Total, full.Total)
+	}
+	ignored := run(t, sim.WithMaxMismatches(0)) // < 1 keeps the default
+	if len(ignored.Mismatches) != len(full.Mismatches) {
+		t.Errorf("cap 0 must keep the default: %d vs %d", len(ignored.Mismatches), len(full.Mismatches))
 	}
 }
 

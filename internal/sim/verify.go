@@ -7,8 +7,9 @@ import (
 	"repro/internal/cdfg"
 )
 
-// MaxMismatches caps how many divergent words a DivergenceError records.
-const MaxMismatches = 16
+// DefaultMaxMismatches is the default cap on how many divergent words a
+// DivergenceError records; override per simulator with WithMaxMismatches.
+const DefaultMaxMismatches = 16
 
 // Mismatch is one divergent data-memory word.
 type Mismatch struct {
@@ -19,15 +20,15 @@ type Mismatch struct {
 
 // DivergenceError reports that a simulated execution produced a final
 // data memory different from the CDFG reference interpreter — a mapping,
-// assembler or simulator bug. It records every mismatched word up to
-// MaxMismatches so differential harnesses (internal/oracle) can classify
+// assembler or simulator bug. It records every mismatched word up to the
+// simulator's cap so differential harnesses (internal/oracle) can classify
 // and shrink failures with errors.As instead of string matching.
 type DivergenceError struct {
 	// Kernel is the graph name; Config names the grid configuration.
 	Kernel string
 	Config string
-	// Mismatches holds the first MaxMismatches divergent words in address
-	// order; Total counts all of them.
+	// Mismatches holds the first divergent words in address order, capped
+	// by the simulator's mismatch limit; Total counts all of them.
 	Mismatches []Mismatch
 	Total      int
 	// Cycles is the simulated execution time of the divergent run.
@@ -52,7 +53,8 @@ func (e *DivergenceError) Error() string {
 // interpreter run on another copy. It returns the simulation result, the
 // interpreter trace (useful as an execution profile), and the verified
 // final memory. Any divergence is a mapping or simulator bug and is
-// returned as a *DivergenceError.
+// returned as a *DivergenceError recording up to the simulator's mismatch
+// cap (see WithMaxMismatches).
 func (s *Sim) RunVerified(initial cdfg.Memory) (*Result, *cdfg.Trace, cdfg.Memory, error) {
 	ref := initial.Clone()
 	tr, err := cdfg.Interp(s.prog.Graph, ref)
@@ -75,7 +77,7 @@ func (s *Sim) RunVerified(initial cdfg.Memory) (*Result, *cdfg.Trace, cdfg.Memor
 				}
 			}
 			div.Total++
-			if len(div.Mismatches) < MaxMismatches {
+			if len(div.Mismatches) < s.maxMismatches {
 				div.Mismatches = append(div.Mismatches, Mismatch{Addr: i, Ref: ref[i], Got: got[i]})
 			}
 		}

@@ -54,6 +54,40 @@ func TestPortfolio(t *testing.T) {
 	}
 }
 
+// TestDivergenceGolden pins the exact rendering of a divergence report:
+// the oracle and cgrasim print this on every real bug, so the format is
+// effectively an interface.
+func TestDivergenceGolden(t *testing.T) {
+	words := []DivergentWord{
+		{Addr: 3, Ref: 10, Got: -1},
+		{Addr: 17, Ref: 0, Got: 255},
+	}
+	got := Divergence("FIR", "cab", "HOM32", 1234, 5, words)
+	want := strings.Join([]string{
+		"divergence: FIR under cab on HOM32 (1234 cycles, 5 divergent words)",
+		"first divergent word: mem[3] interpreter 10, CGRA -1",
+		"word  interpreter  cgra",
+		"-----------------------",
+		"3     10           -1  ",
+		"17    0            255 ",
+		"...   (+3 more)        ",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("divergence rendering changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestDivergenceNoWords covers the capped-to-zero form used when a
+// caller only has counts.
+func TestDivergenceNoWords(t *testing.T) {
+	got := Divergence("FFT", "basic", "HOM64", 7, 2, nil)
+	want := "divergence: FFT under basic on HOM64 (7 cycles, 2 divergent words)\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
 func TestUtilization(t *testing.T) {
 	s := Utilization("u", []int{32, 0}, []int{64, 16})
 	if !strings.Contains(s, "32/64 (50%)") || !strings.Contains(s, "0/16 (0%)") {

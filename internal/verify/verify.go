@@ -1,0 +1,345 @@
+// Package verify is the static legality analyzer of the toolchain: a
+// pass-based framework that proves a mapping or an assembled program
+// legal without running it. Where the simulator (internal/sim) and the
+// differential oracle (internal/oracle) check behavior dynamically, the
+// verifier checks the artifact itself — every neighbor read rides a real
+// torus link, every value is defined before it is used, register and
+// constant files are never over-subscribed, per-tile contexts fit their
+// context memories, context words round-trip through the binary
+// encoding, branches resolve on the announced tile, loads and stores sit
+// on LSU tiles, and pnop words account for exactly the idle cycles of
+// each block.
+//
+// Each pass emits Diagnostics with stable codes (ROUTE001, REG003,
+// CM002, ...) attributed back to the CDFG: block, tile, cycle, and node.
+// The codes are part of the package's API — tests and the oracle
+// classify failures by them — and must never be renumbered.
+//
+// Importing this package (even blank) installs the dataflow pass as
+// core.Map's hard post-condition via core.RegisterDataflowCheck, which
+// keeps core free of an import cycle while core.CheckDataflow keeps
+// working for existing call sites.
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+)
+
+func init() {
+	core.RegisterDataflowCheck(Dataflow)
+}
+
+// Severity grades a diagnostic. Every current pass emits errors; the
+// level exists so future passes can add advisory findings without a new
+// reporting channel.
+type Severity int
+
+const (
+	SevError Severity = iota
+	SevWarning
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Diagnostic is one verifier finding, attributed as precisely as the
+// pass can: the basic block, the 0-based tile, the cycle within the
+// block schedule, and the CDFG node involved. Unused attributions hold
+// cdfg.None / -1.
+type Diagnostic struct {
+	// Code is the stable machine-readable identifier, e.g. "ROUTE001".
+	Code string
+	// Pass names the emitting pass.
+	Pass string
+	Sev  Severity
+
+	Block     cdfg.BBID
+	BlockName string
+	Tile      int // 0-based tile index; rendered 1-based like the paper
+	Cycle     int
+	Node      cdfg.NodeID
+
+	Msg string
+}
+
+func (d Diagnostic) String() string {
+	var loc []string
+	if d.Block != cdfg.None {
+		if d.BlockName != "" {
+			loc = append(loc, fmt.Sprintf("block %q", d.BlockName))
+		} else {
+			loc = append(loc, fmt.Sprintf("block b%d", d.Block))
+		}
+	}
+	if d.Tile >= 0 {
+		loc = append(loc, fmt.Sprintf("tile %d", d.Tile+1))
+	}
+	if d.Cycle >= 0 {
+		loc = append(loc, fmt.Sprintf("cycle %d", d.Cycle))
+	}
+	if d.Node != cdfg.None {
+		loc = append(loc, fmt.Sprintf("n%d", d.Node))
+	}
+	s := d.Code
+	if len(loc) > 0 {
+		s += " " + strings.Join(loc, " ")
+	}
+	return s + ": " + d.Msg
+}
+
+// Context is the verifier's input. Graph and Grid are required (they are
+// derived from Mapping or Program when nil); Mapping and Program are
+// each optional, and every pass runs on whatever subset it supports —
+// see Pass.Needs.
+type Context struct {
+	Graph   *cdfg.Graph
+	Grid    *arch.Grid
+	Mapping *core.Mapping
+	Program *asm.Program
+}
+
+// Need says which inputs a pass requires beyond Graph and Grid.
+type Need int
+
+const (
+	// NeedMapping: the pass analyzes the (tile × cycle) schedule grid.
+	NeedMapping Need = iota
+	// NeedProgram: the pass analyzes assembled per-tile contexts.
+	NeedProgram
+	// NeedEither: the pass runs on a mapping, a program, or both.
+	NeedEither
+)
+
+// Pass is one independent legality check.
+type Pass struct {
+	// Name is the short pass identifier (also Diagnostic.Pass).
+	Name string
+	// Code is the diagnostic code prefix the pass owns.
+	Code string
+	// Doc is a one-line description for catalogs and -verify output.
+	Doc string
+	// Needs declares the inputs the pass requires.
+	Needs Need
+
+	run func(*checker)
+}
+
+func (p *Pass) available(cx *Context) bool {
+	switch p.Needs {
+	case NeedMapping:
+		return cx.Mapping != nil
+	case NeedProgram:
+		return cx.Program != nil
+	default:
+		return cx.Mapping != nil || cx.Program != nil
+	}
+}
+
+// passes is the catalog in execution order.
+var passes = []*Pass{
+	dataflowPass,
+	routePass,
+	regsPass,
+	lsuPass,
+	cmPass,
+	branchPass,
+	encodePass,
+	pnopPass,
+}
+
+// Passes returns the pass catalog in execution order.
+func Passes() []*Pass { return append([]*Pass(nil), passes...) }
+
+// Result collects the diagnostics of one verifier run.
+type Result struct {
+	// Diags holds all findings in pass-catalog order (deterministic).
+	Diags []Diagnostic
+	// Ran and Skipped list pass names: Skipped passes lacked an input
+	// (e.g. program-level passes on a mapping-only Context).
+	Ran     []string
+	Skipped []string
+}
+
+// OK reports whether the run produced no diagnostics.
+func (r *Result) OK() bool { return len(r.Diags) == 0 }
+
+// HasCode reports whether any diagnostic carries the exact code.
+func (r *Result) HasCode(code string) bool {
+	for _, d := range r.Diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// Codes returns the distinct diagnostic codes, in first-seen order.
+func (r *Result) Codes() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, d := range r.Diags {
+		if !seen[d.Code] {
+			seen[d.Code] = true
+			out = append(out, d.Code)
+		}
+	}
+	return out
+}
+
+// Err returns nil when the run is clean, otherwise an error summarizing
+// the first diagnostic and the total count.
+func (r *Result) Err() error {
+	switch len(r.Diags) {
+	case 0:
+		return nil
+	case 1:
+		return errors.New("verify: " + r.Diags[0].String())
+	}
+	return fmt.Errorf("verify: %s (+%d more diagnostics)", r.Diags[0], len(r.Diags)-1)
+}
+
+// Report renders a human-readable account of the run: one line per pass
+// with its verdict, then every diagnostic.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	byPass := map[string]int{}
+	for _, d := range r.Diags {
+		byPass[d.Pass]++
+	}
+	for _, name := range r.Ran {
+		if n := byPass[name]; n > 0 {
+			fmt.Fprintf(&sb, "  %-10s FAIL (%d)\n", name, n)
+		} else {
+			fmt.Fprintf(&sb, "  %-10s ok\n", name)
+		}
+	}
+	for _, name := range r.Skipped {
+		fmt.Fprintf(&sb, "  %-10s skipped\n", name)
+	}
+	for _, d := range r.Diags {
+		fmt.Fprintf(&sb, "  %s: %s\n", d.Sev, d)
+	}
+	return sb.String()
+}
+
+// Run executes every applicable pass over the context and returns the
+// collected diagnostics. Passes whose inputs are absent are recorded in
+// Result.Skipped, never silently dropped.
+func Run(cx *Context) *Result {
+	return runPasses(cx, passes)
+}
+
+func runPasses(cx *Context, ps []*Pass) *Result {
+	c := *cx // derive missing Graph/Grid without mutating the caller's Context
+	if c.Graph == nil {
+		switch {
+		case c.Mapping != nil:
+			c.Graph = c.Mapping.Graph
+		case c.Program != nil:
+			c.Graph = c.Program.Graph
+		}
+	}
+	if c.Grid == nil {
+		switch {
+		case c.Mapping != nil:
+			c.Grid = c.Mapping.Grid
+		case c.Program != nil:
+			c.Grid = c.Program.Grid
+		}
+	}
+	res := &Result{}
+	if c.Graph == nil || c.Grid == nil {
+		res.Diags = append(res.Diags, Diagnostic{
+			Code: "VER001", Pass: "framework", Sev: SevError,
+			Block: cdfg.None, Tile: -1, Cycle: -1, Node: cdfg.None,
+			Msg: "verification context has no graph or grid",
+		})
+		return res
+	}
+	for _, p := range ps {
+		if !p.available(&c) {
+			res.Skipped = append(res.Skipped, p.Name)
+			continue
+		}
+		p.run(&checker{cx: &c, pass: p, res: res})
+		res.Ran = append(res.Ran, p.Name)
+	}
+	return res
+}
+
+// CheckMapping verifies a mapping (no assembled program): the
+// mapping-level passes run, program-level passes are skipped.
+func CheckMapping(m *core.Mapping) *Result {
+	return Run(&Context{Mapping: m})
+}
+
+// CheckProgram verifies an assembled program.
+func CheckProgram(p *asm.Program) *Result {
+	return Run(&Context{Program: p})
+}
+
+// CheckImage reconstructs a program from a saved context-memory image
+// and verifies it. The graph and grid must be the ones the image was
+// assembled for (the image format stores neither).
+func CheckImage(img *asm.Image, g *cdfg.Graph, grid *arch.Grid) (*Result, error) {
+	p, err := asm.ProgramFromImage(img, g, grid)
+	if err != nil {
+		return nil, err
+	}
+	return CheckProgram(p), nil
+}
+
+// Dataflow runs only the dataflow pass — the engine behind
+// core.CheckDataflow — and returns its findings as an error. core.Map
+// uses it as the mapping's hard post-condition.
+func Dataflow(m *core.Mapping) error {
+	return runPasses(&Context{Mapping: m}, []*Pass{dataflowPass}).Err()
+}
+
+// checker is the per-pass emission context.
+type checker struct {
+	cx   *Context
+	pass *Pass
+	res  *Result
+}
+
+// at is the attribution of a diagnostic; the zero value is not useful —
+// use nowhere() and the fluent setters.
+type at struct {
+	blk  cdfg.BBID
+	tile int
+	cyc  int
+	node cdfg.NodeID
+}
+
+func nowhere() at                  { return at{blk: cdfg.None, tile: -1, cyc: -1, node: cdfg.None} }
+func atBlock(bb cdfg.BBID) at      { a := nowhere(); a.blk = bb; return a }
+func (a at) onTile(t int) at       { a.tile = t; return a }
+func (a at) atCycle(c int) at      { a.cyc = c; return a }
+func (a at) forNode(n cdfg.NodeID) at { a.node = n; return a }
+
+func (c *checker) diag(code string, a at, format string, args ...any) {
+	d := Diagnostic{
+		Code: code, Pass: c.pass.Name, Sev: SevError,
+		Block: a.blk, Tile: a.tile, Cycle: a.cyc, Node: a.node,
+		Msg: fmt.Sprintf(format, args...),
+	}
+	if a.blk != cdfg.None && int(a.blk) < len(c.cx.Graph.Blocks) {
+		d.BlockName = c.cx.Graph.Blocks[a.blk].Name
+	}
+	c.res.Diags = append(c.res.Diags, d)
+}

@@ -4,13 +4,28 @@
 # regressions show up as a diffable artifact, not an anecdote.
 #
 #   scripts/bench.sh             # full run, writes BENCH_core.json
+#   scripts/bench.sh -compare    # re-run and diff against BENCH_core.json
+#                                # without overwriting it; exits 1 when any
+#                                # benchmark slows past BENCH_TOLERANCE_PCT
+#                                # (default 30%)
 #   scripts/bench.sh -benchtime=100ms   # extra args forwarded to go test
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_core.json"
+baseline="BENCH_core.json"
+mode="write"
+if [ "${1:-}" = "-compare" ]; then
+    mode="compare"
+    shift
+    if [ ! -f "$baseline" ]; then
+        echo "bench.sh: no $baseline baseline to compare against; run scripts/bench.sh first" >&2
+        exit 1
+    fi
+fi
+
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+cur="$(mktemp)"
+trap 'rm -f "$raw" "$cur"' EXIT
 
 echo "== go test -bench 'BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun' -run NONE . $*"
 go test -bench 'BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun' \
@@ -18,10 +33,13 @@ go test -bench 'BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun' \
 
 # Parse the standard go-bench output lines:
 #   BenchmarkCoreMap/FIR-8  123  9876543 ns/op  456 B/op  7 allocs/op
+# The trailing -N GOMAXPROCS suffix is stripped so the artifact compares
+# across machines with different core counts.
 awk '
 BEGIN { print "{"; print "  \"benchmarks\": [" ; n = 0 }
 /^Benchmark/ && /ns\/op/ {
-    name = $1; iters = $2; ns = $3
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; ns = $3
     bytes = "null"; allocs = "null"
     for (i = 4; i <= NF; i++) {
         if ($i == "B/op")      bytes  = $(i-1)
@@ -36,11 +54,47 @@ END {
     print "  ],"
     print "  \"count\": " n
     print "}"
-}' "$raw" > "$out"
+}' "$raw" > "$cur"
 
-count=$(grep -c '"name"' "$out" || true)
+count=$(grep -c '"name"' "$cur" || true)
 if [ "$count" -eq 0 ]; then
     echo "bench.sh: no benchmark lines parsed" >&2
     exit 1
 fi
-echo "wrote $out ($count benchmarks)"
+
+if [ "$mode" = "write" ]; then
+    cp "$cur" "$baseline"
+    echo "wrote $baseline ($count benchmarks)"
+    exit 0
+fi
+
+# Compare mode: join current ns/op against the baseline by name. Both
+# files are our own one-object-per-line JSON, so awk can parse them.
+# Baselines written before the suffix-stripping change may still carry
+# -N on their names; strip it from both sides when matching.
+tol="${BENCH_TOLERANCE_PCT:-30}"
+echo
+echo "== compare vs $baseline (tolerance +${tol}%)"
+awk -v tol="$tol" '
+function field(line, key,   v) {
+    v = line
+    if (!sub(".*\"" key "\": *", "", v)) return ""
+    sub(/[,}].*/, "", v)
+    return v
+}
+/"name"/ {
+    name = field($0, "name")
+    gsub(/^"|"$/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = field($0, "ns_per_op")
+    if (FNR == NR) { base[name] = ns; next }
+    if (!(name in base)) { printf "%-42s %14s ns/op  (no baseline)\n", name, ns; next }
+    delta = 100.0 * (ns - base[name]) / base[name]
+    mark = ""
+    if (delta > tol) { mark = "  REGRESSION"; bad++ }
+    printf "%-42s %14s -> %14s ns/op  %+7.1f%%%s\n", name, base[name], ns, delta, mark
+}
+END {
+    if (bad) { printf "%d benchmark(s) regressed past +%s%%\n", bad, tol; exit 1 }
+    print "no regressions past tolerance"
+}' "$baseline" "$cur"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI pipeline: vet, build, full tests, then the race-detector pass.
+# CI pipeline: vet, lint, build, full tests, then the race-detector pass.
 #
 #   scripts/ci.sh          # everything (slow: the race pass re-runs the suite)
 #   scripts/ci.sh -short   # short variant for quick iteration
@@ -10,6 +10,12 @@ short="${1:-}"
 
 echo "== go vet ./..."
 go vet ./...
+
+# Repo-specific analyzers (internal/lint): nondeterministic map
+# iteration, wall-clock/unseeded randomness in the mapper, dropped
+# errors. Zero findings is the bar; fix violations, don't suppress them.
+echo "== cgralint ./..."
+go run ./cmd/cgralint ./...
 
 echo "== go build ./..."
 go build ./...
