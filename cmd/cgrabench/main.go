@@ -10,6 +10,10 @@
 //
 // Cells fan out across a worker pool (default: one worker per CPU); the
 // rendered tables are byte-identical at any parallelism.
+//
+// -cpuprofile/-memprofile write runtime/pprof profiles covering the whole
+// evaluation, for inspecting the mapper and simulator hot paths under a
+// realistic workload.
 package main
 
 import (
@@ -21,17 +25,29 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/prof"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (2, 5, 6, 7, 8, 9, 10, 11); 0 = all")
 	table := flag.Int("table", 0, "regenerate one table (2); 0 = all")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "evaluation worker pool size (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgrabench:", err)
+		os.Exit(1)
+	}
 	r := exp.NewRunner()
 	r.Workers = *parallel
-	if err := run(os.Stdout, r, *fig, *table); err != nil {
+	err = run(os.Stdout, r, *fig, *table)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgrabench:", err)
 		os.Exit(1)
 	}

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -44,20 +46,33 @@ func TestRunRejectsUnknownFigure(t *testing.T) {
 }
 
 // TestBuiltBinary builds the real binary and regenerates the cheapest
-// figure (11: area only, no mapping), asserting exit code 0.
+// figure (11: area only, no mapping), asserting exit code 0 and that the
+// -cpuprofile/-memprofile hooks write non-empty profiles.
 func TestBuiltBinary(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a binary")
 	}
-	bin := t.TempDir() + "/cgrabench"
+	dir := t.TempDir()
+	bin := dir + "/cgrabench"
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
-	out, err := exec.Command(bin, "-fig", "11").CombinedOutput()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out, err := exec.Command(bin, "-fig", "11", "-cpuprofile", cpu, "-memprofile", mem).CombinedOutput()
 	if err != nil {
 		t.Fatalf("cgrabench exited non-zero: %v\n%s", err, out)
 	}
 	if !strings.Contains(string(out), "Fig 11") {
 		t.Errorf("stdout misses %q:\n%s", "Fig 11", out)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

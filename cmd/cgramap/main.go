@@ -11,6 +11,9 @@
 //
 //	cgramap -kernel MatM -config HET1 -flow cab [-verify] [-listing] [-dot]
 //	cgramap -kernel MatM -config HET1 -seeds 8 [-parallel 4]
+//
+// -cpuprofile/-memprofile write runtime/pprof profiles of the mapping run
+// for inspecting the search hot path on a single kernel/config pair.
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/power"
+	"repro/internal/prof"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -56,9 +60,20 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
 	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
 	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	if err := run(os.Stdout, o); err != nil {
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgramap:", err)
+		os.Exit(1)
+	}
+	err = run(os.Stdout, o)
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgramap:", err)
 		os.Exit(1)
 	}

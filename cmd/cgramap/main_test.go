@@ -1,7 +1,9 @@
 package main
 
 import (
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -91,23 +93,37 @@ func TestRunRejectsBadInputs(t *testing.T) {
 }
 
 // TestBuiltBinary builds the real binary and runs it on FIR with a tiny
-// config, asserting exit code 0 and the expected stanzas on stdout — the
+// config, asserting exit code 0, the expected stanzas on stdout, and that
+// the -cpuprofile/-memprofile hooks write non-empty profiles — the
 // end-to-end path including flag parsing.
 func TestBuiltBinary(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a binary")
 	}
-	bin := t.TempDir() + "/cgramap"
+	dir := t.TempDir()
+	bin := dir + "/cgramap"
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
 		t.Fatalf("go build: %v\n%s", err, out)
 	}
-	out, err := exec.Command(bin, "-kernel", "FIR", "-config", "HOM32", "-flow", "cab", "-seeds", "2").CombinedOutput()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out, err := exec.Command(bin, "-kernel", "FIR", "-config", "HOM32", "-flow", "cab", "-seeds", "2",
+		"-cpuprofile", cpu, "-memprofile", mem).CombinedOutput()
 	if err != nil {
 		t.Fatalf("cgramap exited non-zero: %v\n%s", err, out)
 	}
 	for _, want := range []string{"portfolio: 2 seeds", "mapped FIR onto HOM32"} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("stdout misses %q:\n%s", want, out)
+		}
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
 		}
 	}
 }

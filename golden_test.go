@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/oracle"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden_mappings.txt from the current mapper output")
+
+const goldenPath = "testdata/golden_mappings.txt"
+
+// goldenCell computes the checksum line for one (kernel, mode, config)
+// cell: a short SHA-256 of the assembled bitstream image, or "no-mapping"
+// when the flow finds no solution. The mapper is seeded (DefaultOptions
+// Seed = 1), so the cell value is a pure function of the mapper code —
+// any silent drift in placement, routing, scheduling or encoding changes
+// the hash.
+func goldenCell(t *testing.T, kernel kernels.Kernel, mode oracle.Mode, cfg arch.ConfigName) string {
+	t.Helper()
+	g := kernel.Build()
+	grid := arch.MustGrid(cfg)
+	m, err := core.Map(g, grid, mode.Options())
+	if err != nil {
+		return "no-mapping"
+	}
+	prog, err := asm.Assemble(m)
+	if err != nil {
+		t.Fatalf("%s/%s/%s: assemble of a valid mapping failed: %v", kernel.Name, mode, cfg, err)
+	}
+	img, err := asm.SaveImage(prog)
+	if err != nil {
+		t.Fatalf("%s/%s/%s: image encode failed: %v", kernel.Name, mode, cfg, err)
+	}
+	sum := sha256.Sum256(img)
+	return hex.EncodeToString(sum[:6])
+}
+
+// TestGoldenMappingChecksums pins a checksum of the assembled bitstream
+// for every suite kernel × mapping mode × CM configuration. The golden
+// file proves that performance rewrites of the mapper hot path (arena
+// pooling, route memoization) are bit-exact: identical Options + seed
+// must keep producing byte-identical programs. Regenerate deliberately
+// with:
+//
+//	go test -run TestGoldenMappingChecksums -update-golden .
+func TestGoldenMappingChecksums(t *testing.T) {
+	modes := oracle.Modes()
+	configs := arch.ConfigNames()
+	if testing.Short() {
+		// Keep -short quick: the cheapest and the most complex mode on
+		// the two homogeneous configurations still catch gross drift.
+		modes = []oracle.Mode{oracle.ModeBasic, oracle.ModeCAB}
+		configs = []arch.ConfigName{arch.HOM64, arch.HOM32}
+	}
+
+	var sb strings.Builder
+	for _, k := range kernels.All() {
+		for _, mode := range modes {
+			for _, cfg := range configs {
+				fmt.Fprintf(&sb, "%s %s %s %s\n", k.Name, mode, cfg, goldenCell(t, k, mode, cfg))
+			}
+		}
+	}
+	got := sb.String()
+
+	if *updateGolden {
+		if testing.Short() {
+			t.Fatal("refusing to write a partial golden file under -short")
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cells)", goldenPath, strings.Count(got, "\n"))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+	}
+	want := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[f[0]+" "+f[1]+" "+f[2]] = f[3]
+	}
+	checked := 0
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		f := strings.Fields(line)
+		key := f[0] + " " + f[1] + " " + f[2]
+		w, ok := want[key]
+		if !ok {
+			t.Errorf("%s: cell missing from golden file (regenerate with -update-golden)", key)
+			continue
+		}
+		checked++
+		if f[3] != w {
+			t.Errorf("%s: bitstream checksum %s, golden %s — the mapper's output drifted", key, f[3], w)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no golden cells checked")
+	}
+}

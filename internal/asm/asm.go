@@ -7,6 +7,7 @@ package asm
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/cdfg"
@@ -50,7 +51,22 @@ type Program struct {
 	BlockLens []int
 	// BranchTiles[b] is the tile resolving block b's branch (-1 if none).
 	BranchTiles []arch.TileID
+
+	// memo caches one immutable derived view of the program (currently the
+	// simulator's decoded context grid) so repeated consumers skip
+	// re-deriving it. Kept opaque to avoid a dependency on the consumer.
+	memo atomic.Value
 }
+
+// Memo returns the derived view published by SetMemo, or nil.
+func (p *Program) Memo() any { return p.memo.Load() }
+
+// SetMemo publishes a derived view of the program. The view must be
+// immutable (it may be shared by concurrent readers) and must be derived
+// from the program alone, since later callers will trust it over
+// re-deriving. Concurrent SetMemo calls race benignly: both values are
+// valid, one wins.
+func (p *Program) SetMemo(v any) { p.memo.Store(v) }
 
 // TotalWords returns the context words used over all tiles — the
 // program's total context-memory footprint.

@@ -44,13 +44,25 @@ func (s partialsByCost) Len() int           { return len(s) }
 func (s partialsByCost) Less(i, j int) bool { return s[i].cost < s[j].cost }
 func (s partialsByCost) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 
-type candsByCost []candidate
-
-func (s candsByCost) Len() int { return len(s) }
-func (s candsByCost) Less(i, j int) bool {
-	return s[i].parent.cost+s[i].cost < s[j].parent.cost+s[j].cost
+// candsByCost sorts an index permutation instead of the ~64-byte candidate
+// structs themselves (the struct swaps dominated the sort in profiles).
+// The index tie-break makes the comparison a total order, so the plain
+// (unstable) sort yields exactly the permutation sort.Stable produced.
+type candsByCost struct {
+	cands []candidate
+	idx   []int32
 }
-func (s candsByCost) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+func (s candsByCost) Len() int { return len(s.idx) }
+func (s candsByCost) Less(i, j int) bool {
+	a, b := &s.cands[s.idx[i]], &s.cands[s.idx[j]]
+	ca, cb := a.parent.cost+a.cost, b.parent.cost+b.cost
+	if ca != cb {
+		return ca < cb
+	}
+	return s.idx[i] < s.idx[j]
+}
+func (s candsByCost) Swap(i, j int) { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
 
 type candidate struct {
 	parent *partial
@@ -65,9 +77,26 @@ type candidate struct {
 // bound: a topological order refined by the paper's list-scheduling
 // priority — smaller mobility first, then larger fan-out, then node id.
 func scheduleOrder(b *cdfg.BasicBlock, s *cdfg.Sched) []cdfg.NodeID {
-	remaining := 0
-	pendingArgs := make([]int, len(b.Nodes))
-	users := cdfg.Users(b)
+	return scheduleOrderInto(b, s, cdfg.Users(b), nil)
+}
+
+// scheduleOrder on the context reuses the precomputed user lists and the
+// arena's order/ready/pending buffers. The returned slice aliases arena
+// memory and stays valid until the next mapBlock call on the same arena.
+func (cx *bbCtx) scheduleOrder() []cdfg.NodeID {
+	return scheduleOrderInto(cx.block, cx.sched, cx.users, cx.arena)
+}
+
+func scheduleOrderInto(b *cdfg.BasicBlock, s *cdfg.Sched, users [][]cdfg.NodeID, ar *mapperArena) []cdfg.NodeID {
+	var pendingArgs []int
+	var ready, order []cdfg.NodeID
+	if ar != nil {
+		pendingArgs = intsBuf(ar.pending, len(b.Nodes))
+		ready = ar.ready[:0]
+		order = ar.order[:0]
+	} else {
+		pendingArgs = make([]int, len(b.Nodes))
+	}
 	schedulable := func(n *cdfg.Node) bool {
 		return n.Op != cdfg.OpConst && n.Op != cdfg.OpSym
 	}
@@ -75,20 +104,17 @@ func scheduleOrder(b *cdfg.BasicBlock, s *cdfg.Sched) []cdfg.NodeID {
 		if !schedulable(n) {
 			continue
 		}
-		remaining++
 		for _, a := range n.Args {
 			if schedulable(b.Nodes[a]) {
 				pendingArgs[n.ID]++
 			}
 		}
 	}
-	var ready []cdfg.NodeID
 	for _, n := range b.Nodes {
 		if schedulable(n) && pendingArgs[n.ID] == 0 {
 			ready = append(ready, n.ID)
 		}
 	}
-	order := make([]cdfg.NodeID, 0, remaining)
 	for len(ready) > 0 {
 		best := 0
 		for i := 1; i < len(ready); i++ {
@@ -120,6 +146,9 @@ func scheduleOrder(b *cdfg.BasicBlock, s *cdfg.Sched) []cdfg.NodeID {
 				ready = append(ready, u)
 			}
 		}
+	}
+	if ar != nil {
+		ar.pending, ar.ready, ar.order = pendingArgs, ready, order
 	}
 	return order
 }
@@ -170,14 +199,16 @@ func (cx *bbCtx) argAvail(p *partial, a cdfg.NodeID) int {
 // already-planned ones can start: the minimum earliest cycle over unbound
 // operations (estimated through unbound chains).
 func (cx *bbCtx) frontierOf(p *partial, unbound []cdfg.NodeID) int {
-	est := make(map[cdfg.NodeID]int, len(unbound))
+	// est/mark are arena-owned stamped arrays indexed by node id; mark[n]
+	// == gen stands in for map membership without a per-call allocation.
+	est, mark, gen := cx.arena.frontierBegin(len(cx.block.Nodes))
 	front := math.MaxInt
 	for _, n := range unbound { // unbound is in topological order
 		e := 0
 		for _, a := range cx.block.Nodes[n].Args {
 			var av int
-			if ea, ok := est[a]; ok {
-				av = ea + 1
+			if mark[a] == gen {
+				av = est[a] + 1
 			} else {
 				av = cx.argAvail(p, a)
 			}
@@ -186,6 +217,7 @@ func (cx *bbCtx) frontierOf(p *partial, unbound []cdfg.NodeID) int {
 			}
 		}
 		est[n] = e
+		mark[n] = gen
 		if e < front {
 			front = e
 		}
@@ -197,10 +229,15 @@ func (cx *bbCtx) frontierOf(p *partial, unbound []cdfg.NodeID) int {
 }
 
 // cabBlacklist returns the bitmask of tiles that cannot accept another
-// instruction under the remaining context-memory budget (§III-D4).
+// instruction under the remaining context-memory budget (§III-D4). The
+// mask is a pure function of the partial's binding state, so it is cached
+// on the partial and recomputed only after a mutation (touch).
 func (cx *bbCtx) cabBlacklist(p *partial) uint32 {
 	if !cx.cab {
 		return 0
+	}
+	if p.blValid {
+		return p.blMask
 	}
 	var mask uint32
 	owed := cx.pendingWB(p)
@@ -218,6 +255,8 @@ func (cx *bbCtx) cabBlacklist(p *partial) uint32 {
 			mask |= 1 << uint(t)
 		}
 	}
+	p.blMask = mask
+	p.blValid = true
 	return mask
 }
 
@@ -248,24 +287,32 @@ func (cx *bbCtx) genCandidates(p *partial, n cdfg.NodeID, window int, tail bool,
 			if produces && !cx.canProduce(p, nil, tid, cc) {
 				continue
 			}
-			cand, ok := cx.planCandidate(p, n, tid, cc, blacklist)
-			if ok {
-				out = append(out, cand)
+			out = append(out, candidate{})
+			if !cx.planCandidate(p, n, tid, cc, blacklist, &out[len(out)-1]) {
+				out = out[:len(out)-1]
 			}
 		}
 	}
 	return out
 }
 
-// planCandidate plans the routing of every operand of n to (t, cc).
-func (cx *bbCtx) planCandidate(p *partial, n cdfg.NodeID, t arch.TileID, cc int, blacklist uint32) (candidate, bool) {
+// planCandidate plans the routing of every operand of n to (t, cc),
+// filling *cand. On false the candidate is unusable and must be dropped.
+func (cx *bbCtx) planCandidate(p *partial, n cdfg.NodeID, t arch.TileID, cc int, blacklist uint32, cand *candidate) bool {
+	ar := cx.arena
 	nd := cx.block.Nodes[n]
-	o := newOverlay()
+	o := ar.overlayReset()
 	o.claim(t, cc, nd.Op.HasResult())
-	cand := candidate{parent: p, node: n, tile: t, cycle: cc}
-	pinnedHere := map[string]bool{}
+	*cand = candidate{parent: p, node: n, tile: t, cycle: cc}
+	cand.plans = ar.plans.take(len(nd.Args))
+	// pinnedHere tracks symbols pinned by an earlier operand of this same
+	// candidate; a node has at most isa.MaxSrcs operands, so a fixed
+	// array beats the map the old hot path allocated per candidate.
+	var pinnedHere [isa.MaxSrcs]string
+	nPinned := 0
 	for _, a := range nd.Args {
-		ap := argPlan{Arg: a}
+		cand.plans = append(cand.plans, argPlan{Arg: a})
+		ap := &cand.plans[len(cand.plans)-1]
 		av := cx.block.Nodes[a]
 		if av.Op == cdfg.OpSym && len(p.locs[a]) == 0 {
 			// Unpinned symbol: pin its home on the consuming tile. A
@@ -276,34 +323,54 @@ func (cx *bbCtx) planCandidate(p *partial, n cdfg.NodeID, t arch.TileID, cc int,
 			// already mostly consumed by this block, cannot host one.
 			if cx.cab && (cx.soft[t] < minHomeBudget ||
 				cx.soft[t]-p.words(t, p.maxCycle, false) < minHomeHeadroom) {
-				return candidate{}, false
+				return false
 			}
-			if !pinnedHere[av.Sym] {
+			already := false
+			for i := 0; i < nPinned; i++ {
+				if pinnedHere[i] == av.Sym {
+					already = true
+					break
+				}
+			}
+			if !already {
 				if !cx.freshRegAvailable(p, o, t) {
-					return candidate{}, false
+					return false
 				}
 				o.addReg(t)
-				pinnedHere[av.Sym] = true
+				pinnedHere[nPinned] = av.Sym
+				nPinned++
 			}
-			ap.Pin = &pinStep{Sym: av.Sym, Node: a, Tile: t}
+			pin := ar.pins.take(1)
+			pin = append(pin, pinStep{Sym: av.Sym, Node: a, Tile: t})
+			ap.Pin = &pin[0]
 			ap.Plan = routePlan{
 				Src:   isa.Src{Kind: isa.SrcReg}, // register resolved at apply
-				Reads: []regRead{{Tile: t, Reg: -2, Cycle: cc}},
+				Reads: append(ar.reads.take(1), regRead{Tile: t, Reg: -2, Cycle: cc}),
 				Cost:  costRegAlloc,
 			}
 			if b := cx.soft[t]; cx.cab && b < unconstrained && b < 48 {
 				ap.Plan.Cost += 1.5 * (1 - float64(b)/48)
 			}
 		} else {
-			pl, ok := cx.planOperand(p, o, a, t, cc, blacklist)
-			if !ok {
-				return candidate{}, false
+			// While the overlay holds nothing beyond the consumer's own
+			// claim, the routing search is a pure function of the
+			// partial's epoch and can hit the per-bind-step memo.
+			var ok bool
+			if o.clean() {
+				flags := memoClaimNoProd
+				if len(o.prods) > 0 {
+					flags = memoClaimProduce
+				}
+				ok = cx.planOperandMemo(p, o, flags, a, t, cc, blacklist, &ap.Plan)
+			} else {
+				ok = cx.planOperand(p, o, a, t, cc, blacklist, &ap.Plan)
 			}
-			ap.Plan = pl
-			o.merge(pl)
+			if !ok {
+				return false
+			}
+			o.merge(&ap.Plan)
 		}
 		cand.cost += ap.Plan.Cost
-		cand.plans = append(cand.plans, ap)
 	}
 	if grow := cc + 1 - p.maxCycle; grow > 0 {
 		cand.cost += costCycle * float64(grow)
@@ -316,7 +383,7 @@ func (cx *bbCtx) planCandidate(p *partial, n cdfg.NodeID, t arch.TileID, cc int,
 	// Energy-aware placement: each instruction on a tile costs one
 	// context fetch per execution, quadratic in the tile's CM depth.
 	if cx.opt.EnergyAware {
-		for _, tt := range affectedTiles(&cand, t) {
+		for _, tt := range cx.affectedTiles(cand, t) {
 			cm := float64(cx.grid.Tile(tt).CMWords)
 			cand.cost += cx.opt.EnergyWeight * cm * cm / 4096
 		}
@@ -332,11 +399,11 @@ func (cx *bbCtx) planCandidate(p *partial, n cdfg.NodeID, t arch.TileID, cc int,
 	// separates the paper's Figs 6-8.
 	if cx.cab {
 		gapDelta := p.tiles[t].wordsIfOccupied(cc, p.maxCycle) -
-			(p.tiles[t].Ops + p.tiles[t].Moves + p.tiles[t].gapGroups(p.maxCycle, false)) - 1
+			p.words(t, p.maxCycle, false) - 1
 		if gapDelta > 0 {
 			cand.cost += 0.4 * float64(gapDelta)
 		}
-		for _, tt := range affectedTiles(&cand, t) {
+		for _, tt := range cx.affectedTiles(cand, t) {
 			if cx.soft[tt] >= unconstrained {
 				continue
 			}
@@ -351,13 +418,14 @@ func (cx *bbCtx) planCandidate(p *partial, n cdfg.NodeID, t arch.TileID, cc int,
 			}
 		}
 	}
-	return cand, true
+	return true
 }
 
 // affectedTiles lists the tiles receiving an instruction from the
-// candidate: the op tile plus every move/recompute hop.
-func affectedTiles(cand *candidate, op arch.TileID) []arch.TileID {
-	tiles := []arch.TileID{op}
+// candidate: the op tile plus every move/recompute hop. The result lives
+// in an arena scratch buffer valid until the next affectedTiles call.
+func (cx *bbCtx) affectedTiles(cand *candidate, op arch.TileID) []arch.TileID {
+	tiles := append(cx.arena.affTiles[:0], op)
 	for _, ap := range cand.plans {
 		for _, m := range ap.Plan.Moves {
 			tiles = append(tiles, m.Tile)
@@ -366,16 +434,18 @@ func affectedTiles(cand *candidate, op arch.TileID) []arch.TileID {
 			tiles = append(tiles, ap.Plan.Recomp.Tile)
 		}
 	}
+	cx.arena.affTiles = tiles
 	return tiles
 }
 
-// apply clones the parent partial and realizes the candidate on it.
-func (cx *bbCtx) apply(cand candidate, st *Stats) *partial {
-	p := cand.parent.clone()
+// apply realizes the candidate on a recycled deep copy of the parent.
+func (cx *bbCtx) apply(cand *candidate, st *Stats) *partial {
+	p := cx.arena.getPartial()
+	cx.arena.cloneInto(p, cand.parent)
 	nd := cx.block.Nodes[cand.node]
 	var srcs [isa.MaxSrcs]isa.Src
-	for i, ap := range cand.plans {
-		srcs[i] = cx.applyPlan(p, ap, st)
+	for i := range cand.plans {
+		srcs[i] = cx.applyPlan(p, &cand.plans[i], st)
 	}
 	// Place the operation itself. (Stores and branches get the same
 	// sentinel location so placed() works, though nothing consumes them.)
@@ -383,6 +453,7 @@ func (cx *bbCtx) apply(cand candidate, st *Stats) *partial {
 	slot := ts.slotAt(cand.cycle)
 	*slot = Slot{Kind: SlotOp, Node: cand.node, Srcs: srcs, NSrc: len(cand.plans)}
 	ts.Ops++
+	ts.dirty()
 	p.bump(cand.cycle)
 	reg := noReg
 	if nd.Op.HasResult() && cx.wantsWriteback(cand.node) {
@@ -398,6 +469,7 @@ func (cx *bbCtx) apply(cand candidate, st *Stats) *partial {
 	p.locs[cand.node] = append(p.locs[cand.node], loc{Tile: cand.tile, Cycle: cand.cycle, Reg: reg})
 	p.cost += cand.cost
 	cx.releaseDeadRegs(p, nd)
+	p.touch(cx.arena)
 	return p
 }
 
@@ -439,8 +511,8 @@ func (cx *bbCtx) wantsWriteback(n cdfg.NodeID) bool {
 
 // applyPlan realizes one operand plan on the cloned partial and returns
 // the operand source the consuming instruction uses.
-func (cx *bbCtx) applyPlan(p *partial, ap argPlan, st *Stats) isa.Src {
-	pl := ap.Plan
+func (cx *bbCtx) applyPlan(p *partial, ap *argPlan, st *Stats) isa.Src {
+	pl := &ap.Plan
 	src := pl.Src
 	if ap.Pin != nil {
 		var r int8
@@ -503,6 +575,7 @@ func (cx *bbCtx) applyPlan(p *partial, ap argPlan, st *Stats) isa.Src {
 		slot := ts.slotAt(m.Cycle)
 		*slot = Slot{Kind: SlotMove, Node: ap.Arg, Srcs: [isa.MaxSrcs]isa.Src{resolveReg(m.Src)}, NSrc: 1}
 		ts.Moves++
+		ts.dirty()
 		p.moves++
 		p.bump(m.Cycle)
 		p.locs[ap.Arg] = append(p.locs[ap.Arg], loc{Tile: m.Tile, Cycle: m.Cycle, Reg: noReg})
@@ -513,6 +586,7 @@ func (cx *bbCtx) applyPlan(p *partial, ap argPlan, st *Stats) isa.Src {
 		slot := ts.slotAt(rc.Cycle)
 		*slot = Slot{Kind: SlotOp, Node: rc.Node, Srcs: rc.Srcs, NSrc: rc.NSrc, Dup: true}
 		ts.Ops++
+		ts.dirty()
 		p.recomputes++
 		if st != nil {
 			st.Recomputes++
@@ -604,6 +678,9 @@ func (cx *bbCtx) violation(p *partial) string {
 // still owed to home registers on that tile — each will need up to one
 // more context word at finalize.
 func (cx *bbCtx) pendingWB(p *partial) []int8 {
+	// The counts live in a single arena scratch buffer: callers consume
+	// the result before any further pendingWB call, and only one mapper
+	// goroutine ever uses an arena.
 	var owed []int8
 	for s, def := range cx.block.LiveOut {
 		h, ok := cx.lookupHome(p, s)
@@ -618,7 +695,7 @@ func (cx *bbCtx) pendingWB(p *partial) []int8 {
 			continue
 		}
 		if owed == nil {
-			owed = make([]int8, cx.grid.NumTiles())
+			owed = cx.arena.owedBuf(cx.grid.NumTiles())
 		}
 		owed[h.Tile]++
 	}
@@ -696,27 +773,32 @@ func (cx *bbCtx) ecmapOKHeadroom(p *partial, reserve, headroom bool) bool {
 // stochasticPrune bounds the beam: the best detFraction of the beam is
 // kept deterministically by cost, the rest of the slots are filled by
 // rank-weighted sampling (the paper's threshold function).
-func stochasticPrune(parts []*partial, beam int, detFrac float64, rng *rand.Rand, st *Stats) []*partial {
+func stochasticPrune(parts []*partial, beam int, detFrac float64, rng *rand.Rand, st *Stats, ar *mapperArena) []*partial {
+	// parts aliases the arena's children buffer, so the surviving beam is
+	// always copied into a fresh slice; partials that don't survive go
+	// straight back to the arena's free list.
 	if len(parts) <= beam {
-		return parts
+		return append(make([]*partial, 0, len(parts)), parts...)
 	}
 	sort.Stable(partialsByCost(parts))
 	det := int(float64(beam) * detFrac)
 	if det > beam {
 		det = beam
 	}
-	kept := append([]*partial(nil), parts[:det]...)
+	kept := append(make([]*partial, 0, beam), parts[:det]...)
 	rest := parts[det:]
 	need := beam - det
 	for need > 0 && len(rest) > 0 {
 		// Rank-weighted threshold: earlier (cheaper) partials are
 		// exponentially more likely to survive.
-		w := make([]float64, len(rest))
+		w := ar.weights[:0]
 		total := 0.0
 		for i := range rest {
-			w[i] = math.Exp(-float64(i) / float64(len(rest)))
-			total += w[i]
+			wi := math.Exp(-float64(i) / float64(len(rest)))
+			w = append(w, wi)
+			total += wi
 		}
+		ar.weights = w
 		x := rng.Float64() * total
 		pick := 0
 		for i := range w {
@@ -731,6 +813,9 @@ func stochasticPrune(parts []*partial, beam int, detFrac float64, rng *rand.Rand
 		need--
 	}
 	st.PrunedStochastic += len(rest)
+	for _, p := range rest {
+		ar.putPartial(p)
+	}
 	return kept
 }
 
@@ -738,10 +823,15 @@ func stochasticPrune(parts []*partial, beam int, detFrac float64, rng *rand.Rand
 // block, returning finalized partials (already filtered by the flow's
 // memory constraints). The caller commits the best one.
 func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial, error) {
-	order := scheduleOrder(cx.block, cx.sched)
+	ar := cx.arena
+	order := cx.scheduleOrder()
 	beam := []*partial{init}
-	var cands []candidate
+	cands := ar.cands[:0]
+	defer func() { ar.cands = cands[:0] }()
 	for oi, n := range order {
+		// New bind step: the route memo and the plan chunks from the
+		// previous node are dead (children copied what they keep).
+		ar.bindReset()
 		window := cx.opt.SlackWindow
 		cands = cands[:0]
 		tail := false
@@ -772,26 +862,32 @@ func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial,
 		}
 		// The exact binder can enumerate hundreds of placements; rank by
 		// accumulated cost and realize only the most promising.
-		sort.Stable(candsByCost(cands))
+		perm := ar.candIdx[:0]
+		for i := range cands {
+			perm = append(perm, int32(i))
+		}
+		ar.candIdx = perm
+		sort.Sort(candsByCost{cands: cands, idx: perm})
 		// Realize candidates best-first until enough children survive the
 		// memory filters (the cap bounds survivors, so a run of filtered
 		// placements does not exhaust the binder's patience).
 		limit := cx.opt.CandidateCap
-		children := make([]*partial, 0, limit)
+		children := ar.children[:0]
 		acPruned, ecPruned := 0, 0
 		unbound := order[oi+1:]
 		var sampleViol []string
-		for _, cand := range cands {
+		for _, ci := range perm {
 			if len(children) >= limit {
 				break
 			}
-			child := cx.apply(cand, st)
+			child := cx.apply(&cands[ci], st)
 			st.Partials++
 			if cx.opt.Flow >= FlowACMAP && !cx.acmapOK(child, true) {
 				acPruned++
 				if len(sampleViol) < 4 {
 					sampleViol = append(sampleViol, "acmap:"+cx.violation(child))
 				}
+				ar.putPartial(child)
 				continue
 			}
 			if cx.opt.Flow >= FlowECMAP {
@@ -804,18 +900,25 @@ func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial,
 					if len(sampleViol) < 4 {
 						sampleViol = append(sampleViol, "ecmap:"+cx.violation(child))
 					}
+					ar.putPartial(child)
 					continue
 				}
 			}
 			children = append(children, child)
 		}
+		ar.children = children[:0]
 		st.PrunedACMAP += acPruned
 		st.PrunedECMAP += ecPruned
 		if len(children) == 0 {
 			return nil, fmt.Errorf("core: all %d bindings of node n%d in block %q violate memory constraints (flow %s) %v\n%s",
-				len(cands), n, cx.block.Name, cx.opt.Flow, sampleViol, cx.memReport(cands[0].parent))
+				len(cands), n, cx.block.Name, cx.opt.Flow, sampleViol, cx.memReport(cands[perm[0]].parent))
 		}
-		beam = stochasticPrune(children, cx.opt.BeamWidth, cx.opt.DetFraction, rng, st)
+		newBeam := stochasticPrune(children, cx.opt.BeamWidth, cx.opt.DetFraction, rng, st, ar)
+		// The old beam (the children's parents) is fully superseded.
+		for _, p := range beam {
+			ar.putPartial(p)
+		}
+		beam = newBeam
 	}
 	// Finalize: symbol writebacks and pnop accounting. The ECMAP and CAB
 	// flows verify the finalized block exactly; the ACMAP-only flow keeps
@@ -828,14 +931,17 @@ func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial,
 	for _, p := range beam {
 		if err := cx.finalize(p); err != nil {
 			lastErr = err
+			ar.putPartial(p)
 			continue
 		}
 		switch {
 		case cx.opt.Flow >= FlowECMAP && !cx.ecmapOK(p, false):
 			lastErr = fmt.Errorf("core: finalized block %q overflows context memory\n%s", cx.block.Name, cx.memReport(p))
+			ar.putPartial(p)
 			continue
 		case cx.opt.Flow == FlowACMAP && !cx.acmapOK(p, false):
 			lastErr = fmt.Errorf("core: finalized block %q overflows context memory (approximate)\n%s", cx.block.Name, cx.memReport(p))
+			ar.putPartial(p)
 			continue
 		}
 		done = append(done, p)

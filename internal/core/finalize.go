@@ -72,6 +72,7 @@ func (cx *bbCtx) homeOf(p *partial, s string, def cdfg.NodeID) (SymLoc, error) {
 			p.newHomes = map[string]SymLoc{}
 		}
 		p.newHomes[s] = h
+		p.touch(cx.arena)
 		return h, true
 	}
 	// First pass: only tiles keeping headroom in their register file and
@@ -112,6 +113,7 @@ func (cx *bbCtx) writebackSym(p *partial, s string, def cdfg.NodeID) error {
 	for _, l := range p.locs[def] {
 		if l.Tile == home.Tile && l.Reg == hr && l.Cycle >= 0 {
 			p.setWriteCycle(rrf, home.Tile, hr, l.Cycle)
+			p.touch(cx.arena)
 			return nil
 		}
 	}
@@ -141,6 +143,7 @@ func (cx *bbCtx) writebackSym(p *partial, s string, def cdfg.NodeID) error {
 		slot.WReg = home.Reg
 		p.setWriteCycle(rrf, home.Tile, hr, l.Cycle)
 		p.noteWrite(rrf, home.Tile, hr, l.Cycle)
+		p.touch(cx.arena)
 		return nil
 	}
 
@@ -158,11 +161,14 @@ func (cx *bbCtx) writebackSym(p *partial, s string, def cdfg.NodeID) error {
 		if !cx.free(p, nil, home.Tile, w) || !cx.canProduce(p, nil, home.Tile, w) {
 			continue
 		}
-		pl, ok := cx.planOperand(p, nil, def, home.Tile, w, cx.cabBlacklist(p))
-		if !ok {
+		// The blacklist is cached on the partial's epoch and the routing
+		// search memoizes per (epoch, def, tile, w), so re-walking the
+		// window after failed cycles stays cheap.
+		ap := argPlan{Arg: def}
+		if !cx.planOperandMemo(p, nil, memoNilOverlay, def, home.Tile, w, cx.cabBlacklist(p), &ap.Plan) {
 			continue
 		}
-		src := cx.applyPlan(p, argPlan{Arg: def, Plan: pl}, nil)
+		src := cx.applyPlan(p, &ap, nil)
 		ts := &p.tiles[home.Tile]
 		slot := ts.slotAt(w)
 		*slot = Slot{
@@ -174,12 +180,14 @@ func (cx *bbCtx) writebackSym(p *partial, s string, def cdfg.NodeID) error {
 			WReg: home.Reg,
 		}
 		ts.Moves++
+		ts.dirty()
 		p.moves++
 		p.bump(w)
 		p.locs[def] = append(p.locs[def], loc{Tile: home.Tile, Cycle: w, Reg: hr})
 		p.setWriteCycle(rrf, home.Tile, hr, w)
 		p.noteWrite(rrf, home.Tile, hr, w)
 		p.cost += costMove
+		p.touch(cx.arena)
 		return nil
 	}
 	var locs []string

@@ -27,6 +27,15 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		return nil, fmt.Errorf("core: invalid grid: %w", err)
 	}
 
+	// The arena owns every reusable scratch buffer of the search. Callers
+	// can thread their own (Options.WithArena, MapPortfolio workers);
+	// otherwise one is borrowed from the pool for the duration of the call.
+	ar := opt.arena
+	if ar == nil {
+		ar = getArena()
+		defer putArena(ar)
+	}
+
 	m := &Mapping{
 		Graph:    g,
 		Grid:     grid,
@@ -35,13 +44,27 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		SymHomes: map[string]SymLoc{},
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	used := make([]int, grid.NumTiles())
-	consts := make([][]int32, grid.NumTiles())
+	n := grid.NumTiles()
+	used := intsBuf(ar.used, n)
+	ar.used = used
+	if cap(ar.consts) < n {
+		ar.consts = make([][]int32, n)
+	}
+	consts := ar.consts[:n]
+	for t := range consts {
+		consts[t] = consts[t][:0]
+	}
 	// usedRegs accumulates every register any committed block touched:
 	// symbol homes pinned later must avoid them, since an earlier block's
 	// temp writeback executing between the symbol's definition and use
 	// would clobber the home.
-	usedRegs := make([]uint16, grid.NumTiles())
+	if cap(ar.usedRegs) < n {
+		ar.usedRegs = make([]uint16, n)
+	}
+	usedRegs := ar.usedRegs[:n]
+	for i := range usedRegs {
+		usedRegs[i] = 0
+	}
 
 	order := cdfg.Traversal(g, opt.Traversal)
 	for oi, bbid := range order {
@@ -58,12 +81,18 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 			grid:     grid,
 			block:    block,
 			opt:      &opt,
-			budget:   make([]int, grid.NumTiles()),
+			arena:    ar,
+			budget:   intsBuf(ar.budget, n),
 			sched:    cdfg.Analyze(block),
 			users:    cdfg.Users(block),
 			symHomes: m.SymHomes,
 			cab:      opt.Flow >= FlowCAB,
+			// Longest route a chain can take is bounded by the two-leg
+			// corner path, so hops never outgrow this and planChain can
+			// skip the capacity write-back.
+			hopsBuf: make([]arch.TileID, 0, grid.Rows+grid.Cols+2),
 		}
+		ar.budget = cx.budget
 		cx.liveOutValues = map[cdfg.NodeID]bool{}
 		for _, id := range block.LiveOut {
 			cx.liveOutValues[id] = true
@@ -72,11 +101,13 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		// in later blocks; the soft budget (used for placement pressure
 		// and home-pinning eligibility, not for the hard pruning filters)
 		// additionally reserves two words per home.
-		homesOn := make([]int, grid.NumTiles())
+		homesOn := intsBuf(ar.homesOn, n)
+		ar.homesOn = homesOn
 		for _, h := range m.SymHomes {
 			homesOn[h.Tile] += 2
 		}
-		cx.soft = make([]int, grid.NumTiles())
+		cx.soft = intsBuf(ar.soft, n)
+		ar.soft = cx.soft
 		for t := range cx.budget {
 			if opt.Flow.memoryAware() {
 				cx.budget[t] = grid.Tile(arch.TileID(t)).CMWords - used[t] - reserve
@@ -138,6 +169,11 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		for s, h := range win.newHomes {
 			m.SymHomes[s] = h
 		}
+		// Everything the winner contributes is copied out above; the
+		// finalized partials can be recycled for the next block.
+		for _, p := range done {
+			ar.putPartial(p)
+		}
 	}
 	m.Stats.CompileTime = time.Since(start)
 	if opt.Flow.memoryAware() {
@@ -163,23 +199,14 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 // this block's symbol reads; each tile's constant pool continues from the
 // committed blocks.
 func (cx *bbCtx) initialPartial(consts [][]int32, usedRegs []uint16) *partial {
-	n := cx.grid.NumTiles()
-	p := &partial{
-		tiles:         make([]tileState, n),
-		locs:          make([][]loc, len(cx.block.Nodes)),
-		regLastRead:   make([]int16, n*cx.grid.RRFSize),
-		regLastWrite:  make([]int16, n*cx.grid.RRFSize),
-		regWriteCycle: make([]int16, n*cx.grid.RRFSize),
-	}
-	for i := range p.regLastRead {
-		p.regLastRead[i] = -1
-		p.regLastWrite[i] = -1
-		p.regWriteCycle[i] = noWrite
-	}
+	ar := cx.arena
+	p := ar.getPartial()
+	ar.resetPartial(p, cx.grid.NumTiles(), len(cx.block.Nodes), cx.grid.RRFSize)
 	for t := range p.tiles {
-		p.tiles[t].Consts = append([]int32(nil), consts[t]...)
-		p.tiles[t].EverUsed = usedRegs[t]
-		p.tiles[t].GlobalUsed = usedRegs[t]
+		ts := &p.tiles[t]
+		ts.Consts = append(ts.Consts[:0], consts[t]...)
+		ts.EverUsed = usedRegs[t]
+		ts.GlobalUsed = usedRegs[t]
 	}
 	for _, h := range cx.symHomes {
 		p.tiles[h.Tile].RegMask |= 1 << h.Reg
@@ -190,7 +217,7 @@ func (cx *bbCtx) initialPartial(consts [][]int32, usedRegs []uint16) *partial {
 			continue
 		}
 		if h, ok := cx.symHomes[nd.Sym]; ok {
-			p.locs[nd.ID] = []loc{{Tile: h.Tile, Cycle: symHomeCycle, Reg: int8(h.Reg)}}
+			p.locs[nd.ID] = append(p.locs[nd.ID], loc{Tile: h.Tile, Cycle: symHomeCycle, Reg: int8(h.Reg)})
 		}
 	}
 	return p

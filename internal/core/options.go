@@ -115,6 +115,11 @@ type Options struct {
 	// ctx, when set (by MapPortfolio), lets Map abort between basic
 	// blocks and between retry attempts once the context is cancelled.
 	ctx context.Context
+
+	// arena, when set (WithArena, MapPortfolio workers), supplies the
+	// reusable search scratch state; Map otherwise borrows one from a
+	// process-wide pool. An arena must never be shared concurrently.
+	arena *mapperArena
 }
 
 // ctxErr reports the pending cancellation, if any.

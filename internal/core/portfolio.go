@@ -196,6 +196,12 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One arena per worker: seeds running on the same worker reuse
+			// its buffers, and workers never share (arenas are not
+			// concurrency-safe). The caller's arena, if any, is ignored here
+			// for the same reason.
+			ar := getArena()
+			defer putArena(ar)
 			for i := range jobs {
 				rep := &res.Reports[i]
 				rep.Seed = seeds[i]
@@ -206,6 +212,7 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 				seedOpt := opt
 				seedOpt.Seed = seeds[i]
 				seedOpt.ctx = ctx
+				seedOpt.arena = ar
 				t0 := time.Now()
 				m, err := Map(g, grid, seedOpt)
 				rep.Wall = time.Since(t0)

@@ -81,22 +81,23 @@ type recompStep struct {
 // overlay tracks the tentative effects of sibling operand plans within one
 // candidate so that plans don't collide before the candidate is applied.
 // An overlay holds at most a handful of entries (one candidate's routing
-// side effects), so the slot sets are small sorted-insertion-free slices
-// scanned linearly — far cheaper than maps in the inner routing loop.
+// side effects), so every set — including the tentative register counts
+// and constant-pool additions — is a small slice scanned linearly; the
+// single live overlay is owned by the arena and reset per candidate.
 type overlay struct {
 	claimed []int64 // slots taken by this candidate
 	prods   []int64 // productions added at (tile, cycle)
 	holds   []holdAdd
-	regs    map[arch.TileID]int // registers tentatively allocated
-	retros  []int64             // slots claimed for a retrofitted writeback
-	consts  map[arch.TileID][]int32
+	regs    []arch.TileID // tiles with tentative register allocations (with multiplicity)
+	retros  []int64       // slots claimed for a retrofitted writeback
+	consts  []constAdd
 }
 
-// newOverlay returns an empty overlay; everything inside stays nil until
-// first written, so the routing search can discard most overlays without
-// ever touching the heap.
-func newOverlay() *overlay {
-	return &overlay{}
+// clean reports whether the overlay holds nothing beyond the consumer's
+// own slot claim — the precondition for memoizing an operand search.
+func (o *overlay) clean() bool {
+	return len(o.claimed) == 1 && len(o.holds) == 0 && len(o.regs) == 0 &&
+		len(o.retros) == 0 && len(o.consts) == 0
 }
 
 func slotKey(t arch.TileID, c int) int64 { return int64(t)<<32 | int64(uint32(c)) }
@@ -119,13 +120,21 @@ func (o *overlay) claim(t arch.TileID, c int, produces bool) {
 
 // addReg records a tentative register allocation on tile t.
 func (o *overlay) addReg(t arch.TileID) {
-	if o.regs == nil {
-		o.regs = map[arch.TileID]int{}
-	}
-	o.regs[t]++
+	o.regs = append(o.regs, t)
 }
 
-func (o *overlay) merge(p routePlan) {
+// regsAt counts the tentative register allocations on tile t.
+func (o *overlay) regsAt(t arch.TileID) int {
+	n := 0
+	for _, x := range o.regs {
+		if x == t {
+			n++
+		}
+	}
+	return n
+}
+
+func (o *overlay) merge(p *routePlan) {
 	for _, m := range p.Moves {
 		o.claim(m.Tile, m.Cycle, true)
 	}
@@ -137,12 +146,7 @@ func (o *overlay) merge(p routePlan) {
 		o.addReg(p.Retro.Tile)
 		o.retros = append(o.retros, slotKey(p.Retro.Tile, p.Retro.Cycle))
 	}
-	for _, c := range p.Consts {
-		if o.consts == nil {
-			o.consts = map[arch.TileID][]int32{}
-		}
-		o.consts[c.Tile] = append(o.consts[c.Tile], c.Val)
-	}
+	o.consts = append(o.consts, p.Consts...)
 }
 
 // bbCtx carries the per-block mapping context shared by all partials.
@@ -163,11 +167,11 @@ type bbCtx struct {
 	liveOutValues map[cdfg.NodeID]bool
 	// cab enables constraint-aware binding (tile blacklisting).
 	cab bool
-	// pathCache memoizes paths() per (from, to) pair; hopsBuf is the
-	// scratch hop list reused across planChain calls. Both are pure
-	// allocation-avoidance: the block mapper is single-goroutine.
-	pathCache [][][]arch.TileID
-	hopsBuf   []arch.TileID
+	// arena owns all reusable mapper scratch state (see arena.go); the
+	// block mapper is single-goroutine, so sharing is never an issue.
+	arena *mapperArena
+	// hopsBuf is the scratch hop list reused across planChain calls.
+	hopsBuf []arch.TileID
 }
 
 // free reports whether the slot is empty in both the partial and overlay.
@@ -223,7 +227,7 @@ func (cx *bbCtx) outputLive(p *partial, o *overlay, t arch.TileID, prod, read in
 func (cx *bbCtx) regAvailableAt(p *partial, o *overlay, t arch.TileID, cycle int) bool {
 	extra := 0
 	if o != nil {
-		extra = o.regs[t]
+		extra = o.regsAt(t)
 	}
 	rrf := cx.grid.RRFSize
 	n := 0
@@ -244,7 +248,7 @@ func (cx *bbCtx) regAvailableAt(p *partial, o *overlay, t arch.TileID, cycle int
 func (cx *bbCtx) freshRegAvailable(p *partial, o *overlay, t arch.TileID) bool {
 	extra := 0
 	if o != nil {
-		extra = o.regs[t]
+		extra = o.regsAt(t)
 	}
 	rrf := cx.grid.RRFSize
 	n := 0
@@ -265,12 +269,15 @@ func (cx *bbCtx) constOK(p *partial, o *overlay, t arch.TileID, v int32) (ok, is
 	}
 	n := len(ts.Consts)
 	if o != nil {
-		for _, ov := range o.consts[t] {
-			if ov == v {
+		for _, ov := range o.consts {
+			if ov.Tile != t {
+				continue
+			}
+			if ov.Val == v {
 				return true, false
 			}
+			n++
 		}
-		n += len(o.consts[t])
 	}
 	return n < cx.opt.MaxCRF, true
 }
@@ -293,110 +300,126 @@ func (cx *bbCtx) dirFromTo(at, from arch.TileID) (isa.Dir, bool) {
 }
 
 // planOperand finds the cheapest feasible plan delivering the value of
-// node v to a consumer executing on tile tc at cycle cc. Returns false
-// when no plan exists.
-func (cx *bbCtx) planOperand(p *partial, o *overlay, v cdfg.NodeID, tc arch.TileID, cc int, blacklist uint32) (routePlan, bool) {
+// node v to a consumer executing on tile tc at cycle cc, writing it into
+// *out. Returns false when no plan exists (leaving *out unspecified). The
+// out-parameter style keeps the ~140-byte routePlan out of every return
+// path of the search tree, which showed up as duffcopy/duffzero in
+// profiles.
+func (cx *bbCtx) planOperand(p *partial, o *overlay, v cdfg.NodeID, tc arch.TileID, cc int, blacklist uint32, out *routePlan) bool {
 	nd := cx.block.Nodes[v]
 	// Constants are served from the consumer tile's CRF.
 	if nd.Op == cdfg.OpConst {
 		ok, isNew := cx.constOK(p, o, tc, nd.Val)
 		if !ok {
-			return routePlan{}, false
+			return false
 		}
-		pl := routePlan{Src: isa.Const(nd.Val), ValueLoc: -1}
+		*out = routePlan{Src: isa.Const(nd.Val), ValueLoc: -1}
 		if isNew {
-			pl.Cost += costNewConst
-			pl.Consts = append(pl.Consts, constAdd{Tile: tc, Val: nd.Val})
+			out.Cost += costNewConst
+			out.Consts = append(cx.arena.consta.take(1), constAdd{Tile: tc, Val: nd.Val})
 		}
-		return pl, true
+		return true
 	}
 
-	best := routePlan{Cost: math.Inf(1)}
+	bestCost := math.Inf(1)
 	found := false
-	consider := func(pl routePlan, ok bool) {
-		if ok && pl.Cost < best.Cost {
-			best = pl
+	var tmp routePlan
+	for li, l := range p.locs[v] {
+		if cx.planFromLoc(p, o, l, li, tc, cc, blacklist, &tmp) && tmp.Cost < bestCost {
+			bestCost = tmp.Cost
+			*out = tmp
 			found = true
 		}
 	}
-
-	for li, l := range p.locs[v] {
-		consider(cx.planFromLoc(p, o, l, li, tc, cc, blacklist))
-	}
 	if cx.opt.Recompute {
-		consider(cx.planRecompute(p, o, v, tc, cc))
+		if cx.planRecompute(p, o, v, tc, cc, &tmp) && tmp.Cost < bestCost {
+			*out = tmp
+			found = true
+		}
 	}
-	return best, found
+	return found
 }
 
 // planFromLoc plans delivery from one existing location of the value.
-func (cx *bbCtx) planFromLoc(p *partial, o *overlay, l loc, li int, tc arch.TileID, cc int, blacklist uint32) (routePlan, bool) {
-	best := routePlan{Cost: math.Inf(1)}
+func (cx *bbCtx) planFromLoc(p *partial, o *overlay, l loc, li int, tc arch.TileID, cc int, blacklist uint32, out *routePlan) bool {
+	bestCost := math.Inf(1)
 	found := false
-	consider := func(pl routePlan, ok bool) {
-		if ok && pl.Cost < best.Cost {
-			pl.ValueLoc = li
-			best = pl
-			found = true
-		}
+	commit := func(pl *routePlan) {
+		pl.ValueLoc = li
+		bestCost = pl.Cost
+		*out = *pl
+		found = true
 	}
 
 	if l.Tile == tc {
 		// Local register read. A symbol home register must not be read
 		// after its writeback has been scheduled.
 		if l.Reg != noReg && cc >= l.Cycle+1 && int16(cc) <= p.writeCycle(cx.grid.RRFSize, tc, l.Reg) {
-			consider(routePlan{
+			pl := routePlan{
 				Src:   isa.Reg(uint8(l.Reg)),
-				Reads: []regRead{{Tile: tc, Reg: l.Reg, Cycle: cc}},
-			}, true)
+				Reads: append(cx.arena.reads.take(1), regRead{Tile: tc, Reg: l.Reg, Cycle: cc}),
+			}
+			if pl.Cost < bestCost {
+				commit(&pl)
+			}
 		}
 		if l.Cycle >= 0 {
 			// Own output register, if still live and the wait is short.
 			if cc > l.Cycle && cc-l.Cycle <= cx.opt.MaxHold && cx.outputLive(p, o, tc, l.Cycle, cc) {
-				consider(routePlan{
+				pl := routePlan{
 					Src:   isa.Self(),
-					Holds: []holdAdd{{Tile: tc, Prod: l.Cycle, Last: cc}},
+					Holds: append(cx.arena.holds.take(1), holdAdd{Tile: tc, Prod: l.Cycle, Last: cc}),
 					Cost:  costHoldCycle * float64(cc-l.Cycle),
-				}, true)
+				}
+				if pl.Cost < bestCost {
+					commit(&pl)
+				}
 			}
 			// Retrofit a writeback on the producing slot.
 			if l.Reg == noReg && cc >= l.Cycle+1 && cx.regAvailableAt(p, o, tc, l.Cycle) &&
 				!p.tiles[tc].Slots[l.Cycle].WB && !cx.retroClaimed(o, tc, l.Cycle) {
-				consider(routePlan{
+				retro := append(cx.arena.retros.take(1), wbRetro{Tile: tc, Cycle: l.Cycle})
+				pl := routePlan{
 					Src:   isa.Reg(retroPlaceholder), // resolved at apply
-					Retro: &wbRetro{Tile: tc, Cycle: l.Cycle},
-					Reads: []regRead{{Tile: tc, Reg: -2, Cycle: cc}},
+					Retro: &retro[0],
+					Reads: append(cx.arena.reads.take(1), regRead{Tile: tc, Reg: -2, Cycle: cc}),
 					Cost:  costRegAlloc,
-				}, true)
+				}
+				if pl.Cost < bestCost {
+					commit(&pl)
+				}
 			}
 		}
-		if found {
-			return best, true
-		}
-		return routePlan{}, false
+		return found
 	}
 
 	// Neighbor output-register read (not possible from a register home).
 	if l.Cycle >= 0 {
 		if d, adj := cx.dirFromTo(tc, l.Tile); adj {
 			if cc > l.Cycle && cc-l.Cycle <= cx.opt.MaxHold && cx.outputLive(p, o, l.Tile, l.Cycle, cc) {
-				consider(routePlan{
+				pl := routePlan{
 					Src:   isa.Nbr(d),
-					Holds: []holdAdd{{Tile: l.Tile, Prod: l.Cycle, Last: cc}},
+					Holds: append(cx.arena.holds.take(1), holdAdd{Tile: l.Tile, Prod: l.Cycle, Last: cc}),
 					Cost:  costHoldCycle * float64(cc-l.Cycle),
-				}, true)
+				}
+				if pl.Cost < bestCost {
+					commit(&pl)
+				}
 			}
 		}
 	}
 
 	// Move chains along the two canonical shortest paths, trying each
 	// first-step access mode.
+	var tmp routePlan
 	for _, path := range cx.paths(l.Tile, tc) {
 		for _, mode := range [...]chainMode{chainOutput, chainReg, chainRetro} {
-			consider(cx.planChain(p, o, l, path, tc, cc, blacklist, mode))
+			if cx.planChain(p, o, l, path, tc, cc, blacklist, mode, &tmp) && tmp.Cost < bestCost {
+				commit(&tmp)
+			}
 		}
 	}
-	return best, found
+	return found
 }
 
 // chainMode says how the first move of a chain accesses the value.
@@ -420,21 +443,40 @@ const retroPlaceholder uint8 = 0xff
 
 // paths returns the row-first and column-first shortest torus paths from a
 // to b (deduplicated when they coincide). Paths exclude a, include b. The
-// result depends only on the grid, so it is computed once per (a, b) pair
-// and cached — the routing search asks for the same pairs thousands of
-// times per block.
+// result depends only on the grid topology, so it is cached on the arena
+// (keyed by grid shape, surviving across blocks and Map calls) — the
+// routing search asks for the same pairs thousands of times per block.
 func (cx *bbCtx) paths(a, b arch.TileID) [][]arch.TileID {
-	n := cx.grid.NumTiles()
-	if cx.pathCache == nil {
-		cx.pathCache = make([][][]arch.TileID, n*n)
+	return cx.arena.paths(cx, a, b)
+}
+
+// planOperandMemo wraps planOperand with the arena's per-bind-step memo.
+// It may only be called when the search is a pure function of the
+// partial's epoch: under a nil overlay (finalize writebacks) or an overlay
+// holding nothing but the consumer's own claim, with the claim shape
+// captured in flags. Negative results are cached too — re-enumeration
+// after a widened slack window is the memo's main hit source.
+func (cx *bbCtx) planOperandMemo(p *partial, o *overlay, flags uint8, v cdfg.NodeID, tc arch.TileID, cc int, blacklist uint32, out *routePlan) bool {
+	ar := cx.arena
+	key := planKey{epoch: p.epoch, v: v, tc: tc, cc: int32(cc), flags: flags}
+	if e, hit := ar.memo[key]; hit {
+		ar.memoHits++
+		if e.ok {
+			*out = e.pl
+		}
+		return e.ok
 	}
-	key := int(a)*n + int(b)
-	if ps := cx.pathCache[key]; ps != nil {
-		return ps
+	ok := cx.planOperand(p, o, v, tc, cc, blacklist, out)
+	pms := ar.memoVals.take(1)
+	pms = pms[:1]
+	pm := &pms[0]
+	if ok {
+		*pm = planMemo{pl: *out, ok: true}
+	} else {
+		*pm = planMemo{}
 	}
-	ps := cx.computePaths(a, b)
-	cx.pathCache[key] = ps
-	return ps
+	ar.memo[key] = pm
+	return ok
 }
 
 func (cx *bbCtx) computePaths(a, b arch.TileID) [][]arch.TileID {
@@ -471,31 +513,32 @@ func samePath(a, b []arch.TileID) bool {
 // neighboring tile (chainOutput), or executes on the value's own tile
 // reading the register file (chainReg for homes and written-back temps,
 // chainRetro with a retrofitted writeback for register-less values).
-func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc arch.TileID, cc int, blacklist uint32, mode chainMode) (routePlan, bool) {
+func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc arch.TileID, cc int, blacklist uint32, mode chainMode, out *routePlan) bool {
 	// hops lives in a per-context scratch buffer: the slice is fully
 	// consumed before planChain returns (moveSteps copy the tile IDs), so
-	// reusing it across the thousands of candidate plans is safe.
+	// reusing it across the thousands of candidate plans is safe. The
+	// buffer is pre-sized to the torus diameter at bbCtx construction, so
+	// appends stay in place and no write-back (or defer) is needed.
 	hops := cx.hopsBuf[:0]
-	defer func() { cx.hopsBuf = hops[:0] }()
 	var srcReg uint8
 	var retro *wbRetro
 	minFirst := 0
 	switch mode {
 	case chainOutput:
 		if l.Cycle < 0 {
-			return routePlan{}, false // register homes have no output value
+			return false // register homes have no output value
 		}
 		for i := 0; i+1 < len(path); i++ {
 			hops = append(hops, path[i])
 		}
 		if len(hops) == 0 {
 			// Adjacent: the direct neighbor-read case covers this.
-			return routePlan{}, false
+			return false
 		}
 		minFirst = l.Cycle + 1
 	case chainReg:
 		if l.Reg == noReg {
-			return routePlan{}, false
+			return false
 		}
 		srcReg = uint8(l.Reg)
 		hops = append(hops, l.Tile)
@@ -505,15 +548,16 @@ func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc
 		minFirst = l.Cycle + 1 // for homes (Cycle -1) this is 0
 	case chainRetro:
 		if l.Reg != noReg || l.Cycle < 0 {
-			return routePlan{}, false
+			return false
 		}
 		slot := p.tiles[l.Tile].Slots[l.Cycle]
 		if slot.Kind == SlotEmpty || slot.WB || !cx.regAvailableAt(p, o, l.Tile, l.Cycle) ||
 			cx.retroClaimed(o, l.Tile, l.Cycle) {
-			return routePlan{}, false
+			return false
 		}
 		srcReg = retroPlaceholder
-		retro = &wbRetro{Tile: l.Tile, Cycle: l.Cycle}
+		rs := append(cx.arena.retros.take(1), wbRetro{Tile: l.Tile, Cycle: l.Cycle})
+		retro = &rs[0]
 		hops = append(hops, l.Tile)
 		for i := 0; i+1 < len(path); i++ {
 			hops = append(hops, path[i])
@@ -525,28 +569,29 @@ func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc
 	// by cc-1.
 	lastStart := cc - len(hops)
 	if lastStart < minFirst {
-		return routePlan{}, false
+		return false
 	}
 
-	try := func(first int) (routePlan, bool) {
-		var pl routePlan
+	try := func(first int) bool {
+		pl := out
+		*pl = routePlan{}
 		cyc := first
 		for i, h := range hops {
 			if blacklist&(1<<uint(h)) != 0 {
-				return routePlan{}, false
+				return false
 			}
 			if !cx.free(p, o, h, cyc) || !cx.canProduce(p, o, h, cyc) {
-				return routePlan{}, false
+				return false
 			}
 			var src isa.Src
 			if i == 0 && mode != chainOutput {
 				// Read the value from this tile's register file.
 				if mode == chainReg && int16(cyc) > p.writeCycle(cx.grid.RRFSize, l.Tile, l.Reg) {
-					return routePlan{}, false
+					return false
 				}
 				src = isa.Reg(srcReg)
 				if mode == chainReg {
-					pl.Reads = append(pl.Reads, regRead{Tile: l.Tile, Reg: l.Reg, Cycle: cyc})
+					pl.Reads = append(cx.arena.reads.take(1), regRead{Tile: l.Tile, Reg: l.Reg, Cycle: cyc})
 				}
 			} else {
 				from := l.Tile
@@ -557,23 +602,23 @@ func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc
 				}
 				d, adj := cx.dirFromTo(h, from)
 				if !adj {
-					return routePlan{}, false
+					return false
 				}
 				src = isa.Nbr(d)
 				if i == 0 {
 					// First hop of an output chain: the producer's value
 					// must still be live.
 					if cyc-prod > cx.opt.MaxHold || !cx.outputLive(p, o, from, prod, cyc) {
-						return routePlan{}, false
+						return false
 					}
 					if pl.Holds == nil {
-						pl.Holds = make([]holdAdd, 0, 2)
+						pl.Holds = cx.arena.holds.take(2)
 					}
 					pl.Holds = append(pl.Holds, holdAdd{Tile: from, Prod: prod, Last: cyc})
 				}
 			}
 			if pl.Moves == nil {
-				pl.Moves = make([]moveStep, 0, len(hops))
+				pl.Moves = cx.arena.moves.take(len(hops))
 			}
 			pl.Moves = append(pl.Moves, moveStep{Tile: h, Cycle: cyc, Src: src})
 			cyc++
@@ -582,20 +627,20 @@ func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc
 		last := hops[len(hops)-1]
 		d, adj := cx.dirFromTo(tc, last)
 		if !adj {
-			return routePlan{}, false
+			return false
 		}
 		lastCycle := first + len(hops) - 1
 		if cc-lastCycle > cx.opt.MaxHold {
-			return routePlan{}, false
+			return false
 		}
 		// The routed value must survive on the last hop's output register
 		// until the consumer reads it.
 		if cc > lastCycle+1 && !cx.outputLive(p, o, last, lastCycle, cc) {
-			return routePlan{}, false
+			return false
 		}
 		pl.Src = isa.Nbr(d)
 		if pl.Holds == nil {
-			pl.Holds = make([]holdAdd, 0, 2)
+			pl.Holds = cx.arena.holds.take(2)
 		}
 		pl.Holds = append(pl.Holds, holdAdd{Tile: last, Prod: lastCycle, Last: cc})
 		pl.Retro = retro
@@ -604,54 +649,59 @@ func (cx *bbCtx) planChain(p *partial, o *overlay, l loc, path []arch.TileID, tc
 		if retro != nil {
 			pl.Cost += costRegAlloc
 		}
-		return pl, true
+		return true
 	}
 
 	// Prefer the late chain (arriving just in time); fall back to the
 	// earliest chain, whose final value waits on the last hop's output.
-	if pl, ok := try(lastStart); ok {
-		return pl, true
+	if try(lastStart) {
+		return true
 	}
 	if minFirst != lastStart {
-		if pl, ok := try(minFirst); ok {
-			return pl, true
+		if try(minFirst) {
+			return true
 		}
 	}
-	return routePlan{}, false
+	return false
 }
 
 // planRecompute duplicates a producer whose operands are all constants on
 // the consumer tile the cycle before consumption.
-func (cx *bbCtx) planRecompute(p *partial, o *overlay, v cdfg.NodeID, tc arch.TileID, cc int) (routePlan, bool) {
+func (cx *bbCtx) planRecompute(p *partial, o *overlay, v cdfg.NodeID, tc arch.TileID, cc int, out *routePlan) bool {
 	nd := cx.block.Nodes[v]
 	switch nd.Op {
 	case cdfg.OpConst, cdfg.OpSym, cdfg.OpLoad, cdfg.OpStore, cdfg.OpBr:
-		return routePlan{}, false
+		return false
 	}
 	for _, a := range nd.Args {
 		if cx.block.Nodes[a].Op != cdfg.OpConst {
-			return routePlan{}, false
+			return false
 		}
 	}
 	cyc := cc - 1
 	if cyc < 0 || !cx.free(p, o, tc, cyc) || !cx.canProduce(p, o, tc, cyc) {
-		return routePlan{}, false
+		return false
 	}
-	pl := routePlan{Src: isa.Self(), ValueLoc: -1, Cost: costRecompute}
-	rc := &recompStep{Tile: tc, Cycle: cyc, Node: v, NSrc: len(nd.Args)}
+	pl := out
+	*pl = routePlan{Src: isa.Self(), ValueLoc: -1, Cost: costRecompute}
+	rcs := append(cx.arena.recomps.take(1), recompStep{Tile: tc, Cycle: cyc, Node: v, NSrc: len(nd.Args)})
+	rc := &rcs[0]
 	for i, a := range nd.Args {
 		val := cx.block.Nodes[a].Val
 		ok, isNew := cx.constOK(p, o, tc, val)
 		if !ok {
-			return routePlan{}, false
+			return false
 		}
 		if isNew {
+			if pl.Consts == nil {
+				pl.Consts = cx.arena.consta.take(len(nd.Args))
+			}
 			pl.Consts = append(pl.Consts, constAdd{Tile: tc, Val: val})
 			pl.Cost += costNewConst
 		}
 		rc.Srcs[i] = isa.Const(val)
 	}
 	pl.Recomp = rc
-	pl.Holds = append(pl.Holds, holdAdd{Tile: tc, Prod: cyc, Last: cc})
-	return pl, true
+	pl.Holds = append(cx.arena.holds.take(1), holdAdd{Tile: tc, Prod: cyc, Last: cc})
+	return true
 }

@@ -49,7 +49,16 @@ type tileState struct {
 	// Consts are the distinct immediates this tile references in already
 	// committed blocks plus the current one (CRF pressure).
 	Consts []int32
+	// cacheHorizon/cacheWords memoize the last interior words() result
+	// (trailing=false); the memory filters ask for the same horizon over
+	// and over between mutations. cacheHorizon -1 means invalid.
+	cacheHorizon int32
+	cacheWords   int32
 }
+
+// dirty invalidates the cached interior word count. It must be called on
+// every mutation that changes the tile's Ops, Moves or occupied cycles.
+func (t *tileState) dirty() { t.cacheHorizon = -1 }
 
 func (t *tileState) clone() tileState {
 	c := *t
@@ -265,6 +274,20 @@ type partial struct {
 	recomputes int
 	cost       float64
 	checkedTo  int // ECMAP frontier already verified
+
+	// epoch is the occupancy generation (from the arena counter): any
+	// mutation of the binding state bumps it via touch, invalidating the
+	// route memo entries and the cached CAB blacklist keyed on it.
+	epoch   uint32
+	blMask  uint32
+	blValid bool
+}
+
+// touch marks the partial as mutated: route-memo entries and the cached
+// CAB blacklist for the old epoch no longer apply.
+func (p *partial) touch(a *mapperArena) {
+	p.epoch = a.nextEpoch()
+	p.blValid = false
 }
 
 func (p *partial) clone() *partial {
@@ -395,8 +418,18 @@ func (p *partial) bump(c int) {
 }
 
 // words returns the context words tile t consumes for the current block so
-// far: committed instructions plus the chosen pnop estimate.
+// far: committed instructions plus the chosen pnop estimate. The interior
+// (trailing=false) count is cached per horizon until the tile mutates.
 func (p *partial) words(t arch.TileID, horizon int, trailing bool) int {
 	ts := &p.tiles[t]
-	return ts.Ops + ts.Moves + ts.gapGroups(horizon, trailing)
+	if trailing {
+		return ts.Ops + ts.Moves + ts.gapGroups(horizon, true)
+	}
+	if ts.cacheHorizon == int32(horizon) {
+		return int(ts.cacheWords)
+	}
+	w := ts.Ops + ts.Moves + ts.gapGroups(horizon, false)
+	ts.cacheHorizon = int32(horizon)
+	ts.cacheWords = int32(w)
+	return w
 }

@@ -93,8 +93,12 @@ func NewRunner() *Runner {
 // prefetch runs the jobs on the runner's worker pool and waits for all of
 // them. Jobs are cache-warming closures (r.Run / r.CPU calls); their
 // results land in the cell cache, so the serial rendering that follows is
-// independent of execution order.
-func (r *Runner) prefetch(jobs []func()) {
+// independent of execution order. Each worker owns one mapper arena for
+// its whole lifetime — every cell it evaluates reuses the same search
+// scratch memory instead of allocating per (kernel, config) — and arenas
+// never influence mapping results, so the byte-identical-output guarantee
+// is unaffected.
+func (r *Runner) prefetch(jobs []func(*core.Arena)) {
 	n := r.Workers
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -103,19 +107,21 @@ func (r *Runner) prefetch(jobs []func()) {
 		n = len(jobs)
 	}
 	if n <= 1 {
+		ar := core.NewArena()
 		for _, j := range jobs {
-			j()
+			j(ar)
 		}
 		return
 	}
-	ch := make(chan func())
+	ch := make(chan func(*core.Arena))
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ar := core.NewArena()
 			for j := range ch {
-				j()
+				j(ar)
 			}
 		}()
 	}
@@ -128,14 +134,24 @@ func (r *Runner) prefetch(jobs []func()) {
 
 // Run evaluates one cell with the flow's default traversal.
 func (r *Runner) Run(kernel string, flow core.Flow, config arch.ConfigName) *Cell {
-	opt := core.DefaultOptions(flow)
+	return r.runArena(nil, kernel, flow, config)
+}
+
+// runArena is Run with an optional caller-owned mapper arena (prefetch
+// workers thread theirs through so all their cells share scratch memory).
+func (r *Runner) runArena(ar *core.Arena, kernel string, flow core.Flow, config arch.ConfigName) *Cell {
+	opt := core.DefaultOptions(flow).WithArena(ar)
 	return r.run(kernel, flow, config, opt)
 }
 
 // RunTraversal evaluates a cell forcing the CDFG traversal order (the
 // Fig 5 experiment).
 func (r *Runner) RunTraversal(kernel string, flow core.Flow, config arch.ConfigName, trav cdfg.TraversalKind) *Cell {
-	opt := core.DefaultOptions(flow)
+	return r.runTraversalArena(nil, kernel, flow, config, trav)
+}
+
+func (r *Runner) runTraversalArena(ar *core.Arena, kernel string, flow core.Flow, config arch.ConfigName, trav cdfg.TraversalKind) *Cell {
+	opt := core.DefaultOptions(flow).WithArena(ar)
 	opt.Traversal = trav
 	opt.ForceTraversal = true
 	return r.run(kernel, flow, config, opt)
@@ -276,4 +292,8 @@ func (r *Runner) CPU(kernel string) (*CPUCell, error) {
 // Baseline returns the basic-flow HOM64 cell a figure normalizes against.
 func (r *Runner) Baseline(kernel string) *Cell {
 	return r.Run(kernel, core.FlowBasic, arch.HOM64)
+}
+
+func (r *Runner) baselineArena(ar *core.Arena, kernel string) *Cell {
+	return r.runArena(ar, kernel, core.FlowBasic, arch.HOM64)
 }

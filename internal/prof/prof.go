@@ -1,0 +1,61 @@
+// Package prof wires the standard runtime/pprof file profiles into the
+// CLIs (cgramap, cgrabench) so mapper and evaluation hot paths can be
+// profiled in situ: the alloc-gated perf harness points at exactly the
+// code paths these binaries exercise.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that finishes the CPU profile and, when memPath is non-empty,
+// writes an allocation (heap) profile. The stop function must run before
+// the process exits — including on error paths — or the profiles are
+// truncated. Empty paths make Start and its stop function no-ops.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("prof: %w", err)
+				}
+				return first
+			}
+			// An explicit GC settles the heap statistics so the profile
+			// reflects live allocations, matching `go test -memprofile`.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("prof: %w", err)
+			}
+		}
+		return first
+	}
+	return stop, nil
+}

@@ -91,11 +91,23 @@ func WithMaxMismatches(n int) Option {
 	}
 }
 
+// decodedContexts is the program's per-cycle instruction grid, published
+// on the program's memo slot so repeated simulator instances of the same
+// program (oracle sweeps, verification reruns, experiment workers) decode
+// the context words once. The grids are never mutated after decode.
+type decodedContexts struct {
+	expanded [][][]*isa.Instr
+}
+
 // New prepares a simulator for the program.
 func New(p *asm.Program, opts ...Option) (*Sim, error) {
 	s := &Sim{prog: p, net: interconnect.New(p.Grid), maxMismatches: DefaultMaxMismatches}
 	for _, o := range opts {
 		o(s)
+	}
+	if d, ok := p.Memo().(*decodedContexts); ok {
+		s.expanded = d.expanded
+		return s, nil
 	}
 	nb := len(p.Graph.Blocks)
 	s.expanded = make([][][]*isa.Instr, nb)
@@ -109,6 +121,7 @@ func New(p *asm.Program, opts ...Option) (*Sim, error) {
 			s.expanded[bb][t] = grid
 		}
 	}
+	p.SetMemo(&decodedContexts{expanded: s.expanded})
 	return s, nil
 }
 
@@ -140,9 +153,12 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 		Tiles:       make([]TileCounters, n),
 		ConfigWords: p.TotalWords(),
 	}
+	// One flat register-file backing for all tiles: n*RRF small slices
+	// showed up as the run loop's dominant allocation.
 	tiles := make([]tileState, n)
+	rfAll := make([]int32, n*p.Grid.RRFSize)
 	for t := range tiles {
-		tiles[t].rf = make([]int32, p.Grid.RRFSize)
+		tiles[t].rf = rfAll[t*p.Grid.RRFSize : (t+1)*p.Grid.RRFSize]
 	}
 	// Count the one-time fetch per pnop word and every op/move fetch as
 	// the block executes; configuration fetches are ConfigWords.
@@ -150,6 +166,8 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 	cur := p.Graph.Entry
 	newOut := make([]int32, n)
 	hasOut := make([]bool, n)
+	prevIdle := make([]bool, n)
+	var srcBuf [isa.MaxSrcs]int32
 	var accs []interconnect.Access
 	type memOp struct {
 		tile  int
@@ -170,7 +188,9 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 		branchTaken := false
 		// Track pnop entry: a tile fetches the pnop word on its first
 		// idle cycle after an instruction (or at block start).
-		prevIdle := make([]bool, n)
+		for t := range prevIdle {
+			prevIdle[t] = false
+		}
 
 		for c := 0; c < blockLen; c++ {
 			accs = accs[:0]
@@ -189,7 +209,7 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 				}
 				prevIdle[t] = false
 				tc.Fetches++
-				vals, err := s.readSrcs(p, tiles, t, in, tc)
+				vals, err := s.readSrcs(p, tiles, t, in, tc, srcBuf[:in.NSrc])
 				if err != nil {
 					return res, fmt.Errorf("sim: block %q cycle %d tile %d: %w", b.Name, c, t+1, err)
 				}
@@ -275,9 +295,10 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 	}
 }
 
-// readSrcs resolves an instruction's operands against pre-cycle state.
-func (s *Sim) readSrcs(p *asm.Program, tiles []tileState, t int, in *isa.Instr, tc *TileCounters) ([]int32, error) {
-	vals := make([]int32, in.NSrc)
+// readSrcs resolves an instruction's operands against pre-cycle state
+// into the caller's scratch buffer (len must equal in.NSrc). The result
+// aliases that buffer and is consumed before the next instruction.
+func (s *Sim) readSrcs(p *asm.Program, tiles []tileState, t int, in *isa.Instr, tc *TileCounters, vals []int32) ([]int32, error) {
 	for i := 0; i < in.NSrc; i++ {
 		src := in.Srcs[i]
 		switch src.Kind {

@@ -8,15 +8,30 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/oracle"
 	"repro/internal/sim"
+	"repro/internal/verify"
 )
 
-// Performance-baseline microbenchmarks for the three pipeline stages the
-// oracle leans on hardest: mapping, portfolio mapping and simulation.
-// scripts/bench.sh runs these and records the numbers in BENCH_core.json
-// so a mapper change that regresses throughput shows up as a diff.
+// Performance-baseline microbenchmarks for the expensive pipeline layers:
+// mapping, portfolio mapping, simulation, static verification, and the
+// end-to-end differential oracle. scripts/bench.sh runs these and records
+// the numbers in BENCH_core.json so a mapper change that regresses
+// throughput or allocation volume shows up as a diff.
 
 func perfGrid() *arch.Grid { return arch.MustGrid(arch.HOM64) }
+
+// warm runs one untimed operation before the measured loop so pooled
+// arenas and decode caches are primed. This keeps -benchtime=1x — the CI
+// bench gate — comparable to the steady-state numbers in BENCH_core.json
+// instead of measuring one-time warm-up allocation.
+func warm(b *testing.B, op func() error) {
+	b.Helper()
+	if err := op(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+}
 
 func BenchmarkCoreMap(b *testing.B) {
 	for _, k := range kernels.All() {
@@ -25,6 +40,7 @@ func BenchmarkCoreMap(b *testing.B) {
 		b.Run(k.Name, func(b *testing.B) {
 			opt := core.DefaultOptions(core.FlowCAB)
 			b.ReportAllocs()
+			warm(b, func() error { _, err := core.Map(g, perfGrid(), opt); return err })
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Map(g, perfGrid(), opt); err != nil {
 					b.Fatal(err)
@@ -42,6 +58,10 @@ func BenchmarkCoreMapPortfolio(b *testing.B) {
 			opt := core.DefaultOptions(core.FlowCAB)
 			popt := core.PortfolioOptions{NumSeeds: 4}
 			b.ReportAllocs()
+			warm(b, func() error {
+				_, err := core.MapPortfolio(context.Background(), g, perfGrid(), opt, popt)
+				return err
+			})
 			for i := 0; i < b.N; i++ {
 				if _, err := core.MapPortfolio(context.Background(), g, perfGrid(), opt, popt); err != nil {
 					b.Fatal(err)
@@ -65,6 +85,14 @@ func BenchmarkSimRun(b *testing.B) {
 		}
 		b.Run(k.Name, func(b *testing.B) {
 			b.ReportAllocs()
+			warm(b, func() error {
+				s, err := sim.New(prog)
+				if err != nil {
+					return err
+				}
+				_, err = s.Run(k.Init())
+				return err
+			})
 			for i := 0; i < b.N; i++ {
 				s, err := sim.New(prog)
 				if err != nil {
@@ -72,6 +100,62 @@ func BenchmarkSimRun(b *testing.B) {
 				}
 				if _, err := s.Run(k.Init()); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyRun measures the static verifier over a pre-built
+// mapping+program pair — the full pass matrix, as the oracle and cgramap
+// -verify invoke it.
+func BenchmarkVerifyRun(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		g := k.Build()
+		m, err := core.Map(g, perfGrid(), core.DefaultOptions(core.FlowCAB))
+		if err != nil {
+			b.Fatalf("%s: map: %v", k.Name, err)
+		}
+		prog, err := asm.Assemble(m)
+		if err != nil {
+			b.Fatalf("%s: assemble: %v", k.Name, err)
+		}
+		cx := &verify.Context{Graph: g, Grid: perfGrid(), Mapping: m, Program: prog}
+		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			warm(b, func() error { return verify.Run(cx).Err() })
+			for i := 0; i < b.N; i++ {
+				res := verify.Run(cx)
+				if err := res.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOracleCheck measures one end-to-end differential check — map,
+// fit-check, verify, assemble, simulate, compare against the reference
+// interpreter — the unit the sweep repeats thousands of times.
+func BenchmarkOracleCheck(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		g := k.Build()
+		cell := oracle.Cell{Mode: oracle.ModeCAB, Config: arch.HOM64}
+		b.Run(k.Name, func(b *testing.B) {
+			var p oracle.Pipeline
+			b.ReportAllocs()
+			warm(b, func() error {
+				if r := p.Check(g, k.Init(), cell, 1); r.Outcome.Bug() {
+					return r.Err
+				}
+				return nil
+			})
+			for i := 0; i < b.N; i++ {
+				r := p.Check(g, k.Init(), cell, 1)
+				if r.Outcome.Bug() {
+					b.Fatalf("oracle found a bug in %s: %v", k.Name, r.Err)
 				}
 			}
 		})

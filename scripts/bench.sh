@@ -6,9 +6,14 @@
 #   scripts/bench.sh             # full run, writes BENCH_core.json
 #   scripts/bench.sh -compare    # re-run and diff against BENCH_core.json
 #                                # without overwriting it; exits 1 when any
-#                                # benchmark slows past BENCH_TOLERANCE_PCT
-#                                # (default 30%)
+#                                # benchmark regresses past tolerance
 #   scripts/bench.sh -benchtime=100ms   # extra args forwarded to go test
+#
+# Compare mode checks all three recorded metrics, each with its own
+# tolerance (time is noisy; allocation counts are nearly deterministic):
+#   BENCH_TOLERANCE_PCT         ns/op      (default 30)
+#   BENCH_BYTES_TOLERANCE_PCT   B/op       (default 50)
+#   BENCH_ALLOCS_TOLERANCE_PCT  allocs/op  (default 25)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,9 +32,9 @@ raw="$(mktemp)"
 cur="$(mktemp)"
 trap 'rm -f "$raw" "$cur"' EXIT
 
-echo "== go test -bench 'BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun' -run NONE . $*"
-go test -bench 'BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun' \
-    -benchmem -run NONE . "$@" | tee "$raw"
+pattern='BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun|BenchmarkVerifyRun|BenchmarkOracleCheck'
+echo "== go test -bench '$pattern' -run NONE . $*"
+go test -bench "$pattern" -benchmem -run NONE . "$@" | tee "$raw"
 
 # Parse the standard go-bench output lines:
 #   BenchmarkCoreMap/FIR-8  123  9876543 ns/op  456 B/op  7 allocs/op
@@ -68,33 +73,58 @@ if [ "$mode" = "write" ]; then
     exit 0
 fi
 
-# Compare mode: join current ns/op against the baseline by name. Both
+# Compare mode: join current metrics against the baseline by name. Both
 # files are our own one-object-per-line JSON, so awk can parse them.
 # Baselines written before the suffix-stripping change may still carry
-# -N on their names; strip it from both sides when matching.
-tol="${BENCH_TOLERANCE_PCT:-30}"
+# -N on their names; strip it from both sides when matching. A metric
+# missing on either side (older "null" baselines) is skipped, not failed.
+tol_ns="${BENCH_TOLERANCE_PCT:-30}"
+tol_bytes="${BENCH_BYTES_TOLERANCE_PCT:-50}"
+tol_allocs="${BENCH_ALLOCS_TOLERANCE_PCT:-25}"
 echo
-echo "== compare vs $baseline (tolerance +${tol}%)"
-awk -v tol="$tol" '
+echo "== compare vs $baseline (tolerance ns +${tol_ns}%, B/op +${tol_bytes}%, allocs/op +${tol_allocs}%)"
+awk -v tol_ns="$tol_ns" -v tol_bytes="$tol_bytes" -v tol_allocs="$tol_allocs" '
 function field(line, key,   v) {
     v = line
     if (!sub(".*\"" key "\": *", "", v)) return ""
     sub(/[,}].*/, "", v)
     return v
 }
+# check compares one metric; base/cur of "" or "null" skip the check. A
+# zero baseline with a zero current value passes; any growth from zero is
+# flagged (percentages are meaningless there).
+function check(name, metric, b, c, tol,   delta, mark) {
+    if (b == "" || b == "null" || c == "" || c == "null") return
+    if (b + 0 == 0) {
+        if (c + 0 == 0) return
+        printf "%-42s %14s -> %14s %s  (from zero)  REGRESSION\n", name, b, c, metric
+        bad++
+        return
+    }
+    delta = 100.0 * (c - b) / b
+    mark = ""
+    if (delta > tol) { mark = "  REGRESSION"; bad++ }
+    printf "%-42s %14s -> %14s %s  %+7.1f%%%s\n", name, b, c, metric, delta, mark
+}
 /"name"/ {
     name = field($0, "name")
     gsub(/^"|"$/, "", name)
     sub(/-[0-9]+$/, "", name)
-    ns = field($0, "ns_per_op")
-    if (FNR == NR) { base[name] = ns; next }
-    if (!(name in base)) { printf "%-42s %14s ns/op  (no baseline)\n", name, ns; next }
-    delta = 100.0 * (ns - base[name]) / base[name]
-    mark = ""
-    if (delta > tol) { mark = "  REGRESSION"; bad++ }
-    printf "%-42s %14s -> %14s ns/op  %+7.1f%%%s\n", name, base[name], ns, delta, mark
+    if (FNR == NR) {
+        base_ns[name]     = field($0, "ns_per_op")
+        base_bytes[name]  = field($0, "bytes_per_op")
+        base_allocs[name] = field($0, "allocs_per_op")
+        next
+    }
+    if (!(name in base_ns)) {
+        printf "%-42s %14s ns/op  (no baseline)\n", name, field($0, "ns_per_op")
+        next
+    }
+    check(name, "ns/op    ", base_ns[name],     field($0, "ns_per_op"),     tol_ns)
+    check(name, "B/op     ", base_bytes[name],  field($0, "bytes_per_op"),  tol_bytes)
+    check(name, "allocs/op", base_allocs[name], field($0, "allocs_per_op"), tol_allocs)
 }
 END {
-    if (bad) { printf "%d benchmark(s) regressed past +%s%%\n", bad, tol; exit 1 }
+    if (bad) { printf "%d metric(s) regressed past tolerance\n", bad; exit 1 }
     print "no regressions past tolerance"
 }' "$baseline" "$cur"

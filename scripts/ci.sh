@@ -37,4 +37,19 @@ go test $short ./...
 echo "== go test -race $short ./..."
 go test -race -timeout 45m $short ./...
 
+# Alloc-aware bench gate: one iteration per benchmark compared against
+# the checked-in BENCH_core.json. A single -benchtime=1x pass is useless
+# for timing (hence the huge ns tolerance — it only catches order-of-
+# magnitude blowups); the allocation columns are the real gate. They are
+# not exact at 1x either: a GC can evict the mapper's arena pool between
+# iterations and the rebuild costs ~2-3x the steady-state allocs/op, so
+# the tolerance sits above that noise floor. The regression this guards
+# against — losing arena reuse or plan memoization — is 4-6 orders of
+# magnitude, far past any tolerance here.
+echo "== bench gate (scripts/bench.sh -compare, 1 iteration)"
+BENCH_TOLERANCE_PCT=400 \
+BENCH_BYTES_TOLERANCE_PCT=400 \
+BENCH_ALLOCS_TOLERANCE_PCT=${BENCH_ALLOCS_TOLERANCE_PCT:-250} \
+    scripts/bench.sh -compare -benchtime=1x
+
 echo "CI OK"
