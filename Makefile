@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint verify-kernels test test-short test-race bench bench-baseline bench-compare ci
+.PHONY: build vet lint verify-kernels test test-short test-race bench bench-baseline bench-compare metrics ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,16 @@ bench-baseline:
 # BENCH_core.json baseline without overwriting it.
 bench-compare:
 	./scripts/bench.sh -compare
+
+# Instrumentation artifacts: map and simulate FIR with -metrics/-events,
+# validate the counter JSONL with cgrametrics, and leave
+# out/metrics.json (counters) + out/events.trace (Chrome trace_event
+# timeline, load in Perfetto or chrome://tracing) behind.
+metrics:
+	mkdir -p out
+	$(GO) run ./cmd/cgrasim -kernel FIR -config HET1 -flow cab \
+		-metrics out/metrics.json -events out/events.trace
+	$(GO) run ./cmd/cgrametrics out/metrics.json
 
 ci:
 	./scripts/ci.sh

@@ -25,7 +25,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -34,18 +36,38 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "evaluation worker pool size (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
+	events := flag.String("events", "", "write a Chrome trace_event timeline to this file")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	fr := obs.FileOutputs(*metrics, *events)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, fr.Recorder)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgrabench:", err)
 		os.Exit(1)
 	}
+	// The deferred call is the panic safety net; the explicit call below
+	// collects the stop error (stop is idempotent).
+	defer stopProf()
 	r := exp.NewRunner()
 	r.Workers = *parallel
+	r.Obs = fr.Recorder
 	err = run(os.Stdout, r, *fig, *table)
+	if err == nil && fr.Recorder.Enabled() {
+		fmt.Fprint(os.Stdout, r.InstrumentationSummary())
+		if reg := fr.Registry(); reg != nil {
+			rows := make([]trace.MetricRow, 0, 64)
+			for _, m := range reg.Snapshot() {
+				rows = append(rows, trace.MetricRow{Name: m.Name, Value: m.Display()})
+			}
+			fmt.Fprint(os.Stdout, trace.Metrics("instrumentation counters", rows))
+		}
+	}
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
+	}
+	if ferr := fr.Flush(); ferr != nil && err == nil {
+		err = ferr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgrabench:", err)

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,12 +31,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: cgralint [dir]\n")
 		flag.PrintDefaults()
 	}
+	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
+	events := flag.String("events", "", "write a Chrome trace_event timeline to this file")
 	flag.Parse()
 	dir := "."
 	if flag.NArg() > 0 {
 		dir = flag.Arg(0)
 	}
-	n, err := run(os.Stdout, dir)
+	fr := obs.FileOutputs(*metrics, *events)
+	n, err := run(os.Stdout, dir, fr.Recorder)
+	if ferr := fr.Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgralint:", err)
 		os.Exit(2)
@@ -46,8 +53,9 @@ func main() {
 }
 
 // run analyzes the module containing dir and prints findings; it
-// returns the finding count.
-func run(w io.Writer, dir string) (int, error) {
+// returns the finding count. A live recorder gets one analyze span,
+// a total finding counter and one counter per offending rule.
+func run(w io.Writer, dir string, rec *obs.Recorder) (int, error) {
 	dir = strings.TrimSuffix(dir, "...")
 	if dir == "" {
 		dir = "."
@@ -56,13 +64,17 @@ func run(w io.Writer, dir string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	sp := rec.StartSpan("lint.analyze", "lint", 0)
 	findings, err := lint.Analyze(root, nil)
+	sp.End(map[string]any{"findings": len(findings), "ok": err == nil})
 	if err != nil {
 		return 0, err
 	}
 	for _, f := range findings {
 		fmt.Fprintln(w, f)
+		rec.Counter("lint.rule." + f.Rule).Inc()
 	}
+	rec.Counter("lint.findings").Add(int64(len(findings)))
 	return len(findings), nil
 }
 

@@ -11,7 +11,7 @@ import (
 // findings, exit-clean.
 func TestRunOnThisModule(t *testing.T) {
 	var sb strings.Builder
-	n, err := run(&sb, "./...")
+	n, err := run(&sb, "./...", nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -43,7 +43,7 @@ func main() {
 }
 `)
 	var sb strings.Builder
-	n, err := run(&sb, dir)
+	n, err := run(&sb, dir, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/prof"
 	"repro/internal/trace"
@@ -47,6 +48,9 @@ type cliOptions struct {
 	seed     int64
 	seeds    int
 	parallel int
+	// rec threads the -metrics/-events recorder into the mapper; nil (the
+	// zero value the tests use) disables instrumentation entirely.
+	rec *obs.Recorder
 }
 
 func main() {
@@ -62,16 +66,26 @@ func main() {
 	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
+	events := flag.String("events", "", "write a Chrome trace_event timeline to this file")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	fr := obs.FileOutputs(*metrics, *events)
+	o.rec = fr.Recorder
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, fr.Recorder)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgramap:", err)
 		os.Exit(1)
 	}
+	// The deferred call is the panic safety net; the explicit call below
+	// collects the stop error (stop is idempotent).
+	defer stopProf()
 	err = run(os.Stdout, o)
 	if perr := stopProf(); perr != nil && err == nil {
 		err = perr
+	}
+	if ferr := fr.Flush(); ferr != nil && err == nil {
+		err = ferr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgramap:", err)
@@ -113,6 +127,7 @@ func run(w io.Writer, o cliOptions) error {
 	}
 	opt := core.DefaultOptions(fl)
 	opt.Seed = o.seed
+	opt.Obs = o.rec
 	var m *core.Mapping
 	if o.seeds > 1 {
 		res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{

@@ -1,0 +1,108 @@
+// Command cgrametrics validates and summarizes the metrics JSONL files
+// written by the -metrics flag of cgramap, cgrasim, cgrabench and
+// cgralint, and by the ORACLE_METRICS test hook. Every line of each
+// input must be one JSON metric object with a non-empty name and a
+// known kind; anything else — truncated JSON, an event object, a stray
+// field — fails the run, which is what lets scripts/ci.sh use this as
+// the artifact gate. Valid files print as a two-column counter table.
+//
+// Usage:
+//
+//	go run ./cmd/cgrametrics out/metrics.json [more.json ...]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cgrametrics <metrics.json> ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "cgrametrics:", err)
+		os.Exit(1)
+	}
+}
+
+// run validates each file and prints its metric table. The first
+// malformed file aborts the run with an error naming file and line.
+func run(w io.Writer, paths []string) error {
+	for _, path := range paths {
+		ms, err := readMetrics(path)
+		if err != nil {
+			return err
+		}
+		rows := make([]trace.MetricRow, 0, len(ms))
+		for _, m := range ms {
+			rows = append(rows, trace.MetricRow{Name: m.Name, Value: m.Display()})
+		}
+		title := fmt.Sprintf("%s: %d metrics", filepath.Base(path), len(ms))
+		if _, err := fmt.Fprint(w, trace.Metrics(title, rows)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readMetrics parses one JSONL metrics file strictly: unknown fields,
+// trailing garbage, a missing name, or an unrecognized kind all reject
+// the file, so a corrupted or mis-routed artifact cannot pass CI.
+func readMetrics(path string) ([]obs.MetricValue, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []obs.MetricValue
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		var m obs.MetricValue
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("%s:%d: malformed metric line: %v", path, ln, err)
+		}
+		if dec.More() {
+			return nil, fmt.Errorf("%s:%d: trailing data after metric object", path, ln)
+		}
+		if m.Name == "" {
+			return nil, fmt.Errorf("%s:%d: metric has no name", path, ln)
+		}
+		switch m.Kind {
+		case obs.KindCounter, obs.KindGauge, obs.KindHistogram:
+		default:
+			return nil, fmt.Errorf("%s:%d: metric %s has unknown kind %q", path, ln, m.Name, m.Kind)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no metrics (empty file)", path)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPrintsValidFile(t *testing.T) {
+	path := writeFile(t, "m.json", strings.Join([]string{
+		`{"name":"core.map.calls","kind":"counter","value":7}`,
+		`{"name":"core.map.duration_us","kind":"histogram","value":900,"count":3,"p50":300,"p99":600}`,
+		``,
+	}, "\n"))
+	var sb strings.Builder
+	if err := run(&sb, []string{path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"m.json: 2 metrics", "core.map.calls", "7", "p99=600"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunRejectsMalformed pins the gate behaviour ci.sh relies on: a
+// damaged metrics artifact must fail, with file:line context.
+func TestRunRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"truncated", `{"name":"a","kind":"counter"` + "\n", "malformed"},
+		{"unknown field", `{"name":"a","kind":"counter","ph":"i"}` + "\n", "malformed"},
+		{"trailing data", `{"name":"a","kind":"counter","value":1} {"x":1}` + "\n", "trailing data"},
+		{"no name", `{"kind":"counter","value":1}` + "\n", "no name"},
+		{"bad kind", `{"name":"a","kind":"meter","value":1}` + "\n", "unknown kind"},
+		{"empty", "\n\n", "no metrics"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeFile(t, "m.json", tc.content)
+			var sb strings.Builder
+			err := run(&sb, []string{path})
+			if err == nil {
+				t.Fatalf("run accepted %s file", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q misses %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+		t.Fatal("run accepted a missing file")
+	}
+}

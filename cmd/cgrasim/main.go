@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -42,6 +43,9 @@ type cliOptions struct {
 	seed     int64
 	seeds    int
 	parallel int
+	// rec threads the -metrics/-events recorder into the mapper and the
+	// simulator; nil (the zero value the tests use) disables it.
+	rec *obs.Recorder
 }
 
 func main() {
@@ -54,9 +58,17 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
 	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
 	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
+	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
+	events := flag.String("events", "", "write a Chrome trace_event timeline to this file")
 	flag.Parse()
 
-	if err := run(os.Stdout, o); err != nil {
+	fr := obs.FileOutputs(*metrics, *events)
+	o.rec = fr.Recorder
+	err := run(os.Stdout, o)
+	if ferr := fr.Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgrasim:", err)
 		os.Exit(1)
 	}
@@ -87,6 +99,7 @@ func run(w io.Writer, o cliOptions) error {
 	g := k.Build()
 	opt := core.DefaultOptions(flow)
 	opt.Seed = o.seed
+	opt.Obs = o.rec
 	var m *core.Mapping
 	if o.seeds > 1 {
 		res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{
@@ -119,7 +132,7 @@ func run(w io.Writer, o cliOptions) error {
 			return err
 		}
 	}
-	s, err := sim.New(prog)
+	s, err := sim.New(prog, sim.WithObs(o.rec))
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -111,5 +115,86 @@ func TestBuiltBinary(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "verified OK") {
 		t.Errorf("stdout misses %q:\n%s", "verified OK", out)
+	}
+}
+
+// TestMetricsEventsArtifacts drives run with the -metrics/-events wiring
+// and validates both artifacts: the metrics file is one well-formed JSON
+// object per line, and the events file is a Chrome trace whose
+// traceEvents array is non-empty.
+func TestMetricsEventsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	events := filepath.Join(dir, "e.trace")
+	fr := obs.FileOutputs(metrics, events)
+	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, seeds: 1, rec: fr.Recorder}
+	var sb strings.Builder
+	if err := run(&sb, o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := fr.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("metrics file is empty")
+	}
+	names := map[string]bool{}
+	for _, line := range lines {
+		var m struct {
+			Name  string `json:"name"`
+			Kind  string `json:"kind"`
+			Value int64  `json:"value"`
+		}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("bad metrics line %q: %v", line, err)
+		}
+		if m.Name == "" || m.Kind == "" {
+			t.Fatalf("metrics line %q misses name or kind", line)
+		}
+		names[m.Name] = true
+	}
+	for _, want := range []string{"core.map.calls", "sim.cycles", "sim.alu_ops"} {
+		if !names[want] {
+			t.Errorf("metrics file misses %s; have %d metrics", want, len(names))
+		}
+	}
+
+	tdata, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			PID  int     `json:"pid"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(tdata, &tr); err != nil {
+		t.Fatalf("events file is not a Chrome trace: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	var sawCore, sawSim bool
+	for _, e := range tr.TraceEvents {
+		switch e.Name {
+		case "core.map":
+			sawCore = true
+		}
+		if e.PID == 2 && e.Ph == "X" {
+			sawSim = true
+		}
+	}
+	if !sawCore || !sawSim {
+		t.Errorf("trace misses core.map span (%v) or sim block events (%v)", sawCore, sawSim)
 	}
 }

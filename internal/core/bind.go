@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/cdfg"
@@ -824,17 +825,22 @@ func stochasticPrune(parts []*partial, beam int, detFrac float64, rng *rand.Rand
 // memory constraints). The caller commits the best one.
 func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial, error) {
 	ar := cx.arena
+	tSched := time.Now()
 	order := cx.scheduleOrder()
+	st.Phases.Schedule += time.Since(tSched)
 	beam := []*partial{init}
 	cands := ar.cands[:0]
 	defer func() { ar.cands = cands[:0] }()
 	for oi, n := range order {
 		// New bind step: the route memo and the plan chunks from the
 		// previous node are dead (children copied what they keep).
+		st.MemoEvictions += len(ar.memo)
+		st.MemoResets++
 		ar.bindReset()
 		window := cx.opt.SlackWindow
 		cands = cands[:0]
 		tail := false
+		tRoute := time.Now()
 		for {
 			for _, p := range beam {
 				cands = cx.genCandidates(p, n, window, tail, cands)
@@ -860,8 +866,10 @@ func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial,
 			}
 			st.Retries++
 		}
+		st.Phases.Route += time.Since(tRoute)
 		// The exact binder can enumerate hundreds of placements; rank by
 		// accumulated cost and realize only the most promising.
+		tBind := time.Now()
 		perm := ar.candIdx[:0]
 		for i := range cands {
 			perm = append(perm, int32(i))
@@ -909,17 +917,21 @@ func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial,
 		ar.children = children[:0]
 		st.PrunedACMAP += acPruned
 		st.PrunedECMAP += ecPruned
+		st.Phases.Bind += time.Since(tBind)
 		if len(children) == 0 {
 			return nil, fmt.Errorf("core: all %d bindings of node n%d in block %q violate memory constraints (flow %s) %v\n%s",
 				len(cands), n, cx.block.Name, cx.opt.Flow, sampleViol, cx.memReport(cands[perm[0]].parent))
 		}
+		tPrune := time.Now()
 		newBeam := stochasticPrune(children, cx.opt.BeamWidth, cx.opt.DetFraction, rng, st, ar)
 		// The old beam (the children's parents) is fully superseded.
 		for _, p := range beam {
 			ar.putPartial(p)
 		}
 		beam = newBeam
+		st.Phases.Prune += time.Since(tPrune)
 	}
+	tFin := time.Now()
 	// Finalize: symbol writebacks and pnop accounting. The ECMAP and CAB
 	// flows verify the finalized block exactly; the ACMAP-only flow keeps
 	// its approximate filter here too, so blocks that do not actually fit
@@ -946,6 +958,7 @@ func (cx *bbCtx) mapBlock(init *partial, rng *rand.Rand, st *Stats) ([]*partial,
 		}
 		done = append(done, p)
 	}
+	st.Phases.Finalize += time.Since(tFin)
 	if len(done) == 0 {
 		if lastErr == nil {
 			lastErr = fmt.Errorf("core: no finalized mapping for block %q", cx.block.Name)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cdfg"
+	"repro/internal/obs"
 )
 
 // unconstrained is the per-tile budget used by the basic flow, which
@@ -42,6 +43,13 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		Flow:     opt.Flow,
 		Blocks:   make([]*BlockMapping, len(g.Blocks)),
 		SymHomes: map[string]SymLoc{},
+	}
+	if opt.Obs.Enabled() {
+		sp := opt.Obs.StartSpan("core.map", "core", 0)
+		defer func() {
+			sp.End(map[string]any{"kernel": g.Name, "grid": grid.Name, "flow": opt.Flow.String()})
+			recordMapStats(opt.Obs, &m.Stats, ar)
+		}()
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	n := grid.NumTiles()
@@ -87,6 +95,7 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 			users:    cdfg.Users(block),
 			symHomes: m.SymHomes,
 			cab:      opt.Flow >= FlowCAB,
+			stats:    &m.Stats,
 			// Longest route a chain can take is bounded by the two-leg
 			// corner path, so hops never outgrow this and planChain can
 			// skip the capacity write-back.
@@ -129,6 +138,10 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		case opt.Flow == FlowCAB:
 			attempts = 6
 		}
+		var blockSpan obs.Span
+		if opt.Obs.Enabled() {
+			blockSpan = opt.Obs.StartSpan("core.map.block", "core", 0)
+		}
 		var done []*partial
 		var err error
 		for a := 0; a < attempts; a++ {
@@ -154,6 +167,9 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 				break
 			}
 			m.Stats.Retries++
+		}
+		if opt.Obs.Enabled() {
+			blockSpan.End(map[string]any{"block": block.Name, "ok": err == nil})
 		}
 		if err != nil {
 			m.Stats.CompileTime = time.Since(start)

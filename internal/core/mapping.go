@@ -69,10 +69,25 @@ type SymLoc struct {
 	Reg  uint8
 }
 
+// PhaseTimes breaks the mapper's wall clock down by binder phase. The
+// phases partition mapBlock: list scheduling, candidate routing (operand
+// route planning across the slack windows), binding (realizing candidates
+// and running the memory filters), stochastic pruning, and finalization
+// (symbol writebacks plus the exact fit check).
+type PhaseTimes struct {
+	Schedule time.Duration
+	Route    time.Duration
+	Bind     time.Duration
+	Prune    time.Duration
+	Finalize time.Duration
+}
+
 // Stats aggregates mapping-quality metrics used by the experiments.
 type Stats struct {
 	// CompileTime is the wall-clock mapping duration.
 	CompileTime time.Duration
+	// Phases splits CompileTime across the binder's phases.
+	Phases PhaseTimes
 	// Partials counts partial mappings created over the whole run.
 	Partials int
 	// PrunedACMAP/PrunedECMAP/PrunedStochastic count partials discarded by
@@ -84,6 +99,13 @@ type Stats struct {
 	Retries int
 	// Recomputes counts recompute transformations applied.
 	Recomputes int
+	// MemoHits/MemoMisses count route-memo lookups (see planOperandMemo);
+	// MemoResets counts bind-step resets and MemoEvictions the entries
+	// those resets discarded.
+	MemoHits      int
+	MemoMisses    int
+	MemoResets    int
+	MemoEvictions int
 }
 
 // Mapping is a complete mapping of a CDFG onto a CGRA configuration.

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// recordMapStats publishes one Map call's Stats and arena high-water marks
+// to the recorder's registry. It runs once per Map call (deferred, so
+// failed mappings report too) and only when a recorder is attached — the
+// hot path itself touches plain Stats ints, never the registry.
+func recordMapStats(r *obs.Recorder, st *Stats, ar *mapperArena) {
+	r.Counter("core.map.calls").Inc()
+	r.Counter("core.map.partials").Add(int64(st.Partials))
+	r.Counter("core.map.retries").Add(int64(st.Retries))
+	r.Counter("core.map.recomputes").Add(int64(st.Recomputes))
+	r.Counter("core.prune.acmap").Add(int64(st.PrunedACMAP))
+	r.Counter("core.prune.ecmap").Add(int64(st.PrunedECMAP))
+	r.Counter("core.prune.stochastic").Add(int64(st.PrunedStochastic))
+	r.Counter("core.memo.hits").Add(int64(st.MemoHits))
+	r.Counter("core.memo.misses").Add(int64(st.MemoMisses))
+	r.Counter("core.memo.resets").Add(int64(st.MemoResets))
+	r.Counter("core.memo.evictions").Add(int64(st.MemoEvictions))
+	r.Counter("core.phase.schedule_us").Add(st.Phases.Schedule.Microseconds())
+	r.Counter("core.phase.route_us").Add(st.Phases.Route.Microseconds())
+	r.Counter("core.phase.bind_us").Add(st.Phases.Bind.Microseconds())
+	r.Counter("core.phase.prune_us").Add(st.Phases.Prune.Microseconds())
+	r.Counter("core.phase.finalize_us").Add(st.Phases.Finalize.Microseconds())
+	r.Histogram("core.map.us").Observe(st.CompileTime.Microseconds())
+	// Arena gauges are last-writer-wins snapshots of the scratch state's
+	// high-water marks — chunk capacities only grow, so across a portfolio
+	// the gauges converge on the largest arena.
+	r.Gauge("core.arena.partials_free").Set(int64(len(ar.free)))
+	r.Gauge("core.arena.plan_chunk_cap").Set(int64(cap(ar.plans.buf)))
+	r.Gauge("core.arena.move_chunk_cap").Set(int64(cap(ar.moves.buf)))
+	r.Gauge("core.arena.read_chunk_cap").Set(int64(cap(ar.reads.buf)))
+	r.Gauge("core.arena.memo_chunk_cap").Set(int64(cap(ar.memoVals.buf)))
+	r.Gauge("core.arena.path_cache_size").Set(int64(len(ar.pathCache)))
+}

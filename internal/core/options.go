@@ -10,6 +10,7 @@ import (
 	"context"
 
 	"repro/internal/cdfg"
+	"repro/internal/obs"
 )
 
 // Flow selects which of the paper's mapping-flow variants runs. The
@@ -111,6 +112,13 @@ type Options struct {
 	// MaxCRF bounds the distinct constants a tile may reference (the
 	// constant register file size).
 	MaxCRF int
+
+	// Obs, when non-nil, receives the mapper's instrumentation: registry
+	// counters, arena gauges and per-Map/per-block timeline spans. A nil
+	// recorder keeps the hot path allocation-free (pinned by
+	// BenchmarkCoreMapObsOff); instrumentation never influences the search,
+	// so mappings are byte-identical with and without a recorder.
+	Obs *obs.Recorder
 
 	// ctx, when set (by MapPortfolio), lets Map abort between basic
 	// blocks and between retry attempts once the context is cancelled.

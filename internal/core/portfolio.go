@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cdfg"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -207,22 +208,34 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 				rep.Seed = seeds[i]
 				if err := ctx.Err(); err != nil {
 					rep.Err = err.Error()
+					opt.Obs.Counter("core.portfolio.seeds_skipped").Inc()
 					continue
 				}
 				seedOpt := opt
 				seedOpt.Seed = seeds[i]
 				seedOpt.ctx = ctx
 				seedOpt.arena = ar
+				// One span per seed, on its own tid, so concurrent seeds
+				// render as parallel tracks in the trace viewer.
+				var seedSpan obs.Span
+				if opt.Obs.Enabled() {
+					seedSpan = opt.Obs.StartSpan("core.portfolio.seed", "core", i)
+				}
 				t0 := time.Now()
 				m, err := Map(g, grid, seedOpt)
 				rep.Wall = time.Since(t0)
+				if opt.Obs.Enabled() {
+					seedSpan.End(map[string]any{"seed": seeds[i], "ok": err == nil})
+				}
 				if err != nil {
 					rep.Err = err.Error()
+					opt.Obs.Counter("core.portfolio.seeds_failed").Inc()
 					continue
 				}
 				rep.OK = true
 				rep.Score = objective(m)
 				mappings[i] = m
+				opt.Obs.Counter("core.portfolio.seeds_ok").Inc()
 				if popt.Stop != nil {
 					stopMu.Lock()
 					stop := popt.Stop(m, rep.Score)
@@ -267,5 +280,9 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 	res.Mapping = mappings[best]
 	res.Seed = seeds[best]
 	res.Score = res.Reports[best].Score
+	if opt.Obs.Enabled() {
+		opt.Obs.Emit("core.portfolio.winner", "core", best,
+			map[string]any{"seed": res.Seed, "score": res.Score.String()})
+	}
 	return res, nil
 }

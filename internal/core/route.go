@@ -170,6 +170,10 @@ type bbCtx struct {
 	// arena owns all reusable mapper scratch state (see arena.go); the
 	// block mapper is single-goroutine, so sharing is never an issue.
 	arena *mapperArena
+	// stats points at the mapping's Stats so the hot path can bump memo
+	// counters without reaching through Options (may be nil in white-box
+	// tests that build a bbCtx by hand).
+	stats *Stats
 	// hopsBuf is the scratch hop list reused across planChain calls.
 	hopsBuf []arch.TileID
 }
@@ -461,10 +465,16 @@ func (cx *bbCtx) planOperandMemo(p *partial, o *overlay, flags uint8, v cdfg.Nod
 	key := planKey{epoch: p.epoch, v: v, tc: tc, cc: int32(cc), flags: flags}
 	if e, hit := ar.memo[key]; hit {
 		ar.memoHits++
+		if cx.stats != nil {
+			cx.stats.MemoHits++
+		}
 		if e.ok {
 			*out = e.pl
 		}
 		return e.ok
+	}
+	if cx.stats != nil {
+		cx.stats.MemoMisses++
 	}
 	ok := cx.planOperand(p, o, v, tc, cc, blacklist, out)
 	pms := ar.memoVals.take(1)

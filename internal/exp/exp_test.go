@@ -8,6 +8,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cdfg"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func TestRunnerCellAndCache(t *testing.T) {
@@ -214,5 +215,32 @@ func TestRunTraversalForcedOrders(t *testing.T) {
 	}
 	if fwd == wgt {
 		t.Error("different traversals must be distinct cache entries")
+	}
+}
+
+// TestRunnerObsAndSummary checks the evaluation-wide recorder threading
+// (mapper and simulator counters land in one registry) and the per-kernel
+// instrumentation roll-up.
+func TestRunnerObsAndSummary(t *testing.T) {
+	r := NewRunner()
+	r.Obs = obs.NewRecorder(obs.NewRegistry(), nil)
+	c := r.Run("FIR", core.FlowCAB, arch.HOM64)
+	if !c.OK {
+		t.Fatalf("FIR cab failed: %s", c.Fail)
+	}
+	if got := r.Obs.Counter("core.map.calls").Value(); got != 1 {
+		t.Errorf("core.map.calls = %d, want 1", got)
+	}
+	if got := r.Obs.Counter("sim.cycles").Value(); got != c.Cycles {
+		t.Errorf("sim.cycles = %d, want %d", got, c.Cycles)
+	}
+	// Cached cells must not re-record.
+	r.Run("FIR", core.FlowCAB, arch.HOM64)
+	if got := r.Obs.Counter("core.map.calls").Value(); got != 1 {
+		t.Errorf("cached re-run bumped core.map.calls to %d", got)
+	}
+	sum := r.InstrumentationSummary()
+	if !strings.Contains(sum, "FIR") || !strings.Contains(sum, "memo-hit") {
+		t.Errorf("summary misses the FIR row or headers:\n%s", sum)
 	}
 }

@@ -17,8 +17,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Cell is one (kernel, flow, configuration) evaluation point.
@@ -71,6 +73,11 @@ type Runner struct {
 	// Workers bounds the prefetch pool; 0 means runtime.GOMAXPROCS(0)
 	// and 1 restores fully serial evaluation.
 	Workers int
+	// Obs, when non-nil, is threaded into every mapper and simulator run
+	// the evaluation performs, so one recorder aggregates the whole
+	// experiment sweep. Cached cells do not re-record: the registry
+	// reflects the work actually executed.
+	Obs *obs.Recorder
 
 	mu          sync.Mutex
 	cells       map[cellKey]*Cell
@@ -195,6 +202,7 @@ func (r *Runner) evaluate(kernel string, flow core.Flow, config arch.ConfigName,
 	}
 	g := k.Build()
 	grid := arch.MustGrid(config)
+	opt.Obs = r.Obs
 	m, err := core.Map(g, grid, opt)
 	if err != nil {
 		c.Fail = err.Error()
@@ -223,7 +231,7 @@ func (r *Runner) evaluate(kernel string, flow core.Flow, config arch.ConfigName,
 		c.Fail = err.Error()
 		return c
 	}
-	s, err := sim.New(prog)
+	s, err := sim.New(prog, sim.WithObs(r.Obs))
 	if err != nil {
 		c.Fail = err.Error()
 		return c
@@ -287,6 +295,56 @@ func (r *Runner) CPU(kernel string) (*CPUCell, error) {
 	r.cpus[kernel] = c
 	r.mu.Unlock()
 	return c, nil
+}
+
+// InstrumentationSummary renders a per-kernel roll-up of every cell the
+// runner has evaluated so far: cells run, mappings found, simulated
+// cycles, compile time, partials explored, route-memo hit rate and
+// pruned-partial total. Kernels appear in the canonical kernel order, so
+// the table is deterministic for a given set of evaluated cells.
+func (r *Runner) InstrumentationSummary() string {
+	type agg struct {
+		cells, mapped         int
+		cycles                int64
+		compile               time.Duration
+		partials, pruned      int
+		memoHits, memoLookups int
+	}
+	byKernel := map[string]*agg{}
+	r.mu.Lock()
+	for key, c := range r.cells {
+		a := byKernel[key.kernel]
+		if a == nil {
+			a = &agg{}
+			byKernel[key.kernel] = a
+		}
+		a.cells++
+		if c.OK {
+			a.mapped++
+			a.cycles += c.Cycles
+		}
+		a.compile += c.CompileTime
+		a.partials += c.MapStats.Partials
+		a.pruned += c.MapStats.PrunedACMAP + c.MapStats.PrunedECMAP + c.MapStats.PrunedStochastic
+		a.memoHits += c.MapStats.MemoHits
+		a.memoLookups += c.MapStats.MemoHits + c.MapStats.MemoMisses
+	}
+	r.mu.Unlock()
+	t := trace.NewTable("per-kernel instrumentation summary",
+		"kernel", "cells", "mapped", "cycles", "compile", "partials", "memo-hit", "pruned")
+	for _, name := range kernels.Names() {
+		a := byKernel[name]
+		if a == nil {
+			continue
+		}
+		hit := "-"
+		if a.memoLookups > 0 {
+			hit = fmt.Sprintf("%.0f%%", 100*float64(a.memoHits)/float64(a.memoLookups))
+		}
+		t.Add(name, a.cells, a.mapped, a.cycles, a.compile.Round(time.Millisecond),
+			a.partials, hit, a.pruned)
+	}
+	return t.String()
 }
 
 // Baseline returns the basic-flow HOM64 cell a figure normalizes against.

@@ -11,6 +11,9 @@
 //     randomness from the caller's seed.
 //   - errcheck: an error-returning call from this module used as a bare
 //     statement, silently dropping encode/assemble/sim failures.
+//   - noprint: direct fmt.Print*/log.* console output inside the mapper
+//     (internal/core) or simulator (internal/sim), whose diagnostics must
+//     flow through errors or the obs recorder.
 //
 // The rules run over the module's non-test sources; _test.go files may
 // break and print from map ranges freely. Command cgralint is the CLI,
@@ -60,7 +63,7 @@ type Rule struct {
 
 // Rules returns the full rule set.
 func Rules() []*Rule {
-	return []*Rule{maprangeRule, detrandRule, errcheckRule}
+	return []*Rule{maprangeRule, detrandRule, errcheckRule, noprintRule}
 }
 
 // Analyze loads every non-test package under the module rooted at root

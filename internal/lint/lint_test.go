@@ -276,3 +276,40 @@ func TestRulesMetadata(t *testing.T) {
 		seen[r.Name] = true
 	}
 }
+
+func TestNoprintFlagsConsoleOutput(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/sim", `package sim
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+func Bad(x int) {
+	fmt.Println("state:", x) // flagged: stdout
+	fmt.Printf("%d\n", x)    // flagged: stdout
+	log.Printf("x=%d", x)    // flagged: log
+}
+
+func Good(w io.Writer, x int) string {
+	fmt.Fprintf(w, "%d\n", x) // caller-supplied writer: fine
+	return fmt.Sprintf("%d", x)
+}
+`)
+	if got := rulesOf(fs); got["noprint"] != 3 {
+		t.Errorf("want 3 noprint findings, got %d:\n%v", got["noprint"], fs)
+	}
+}
+
+func TestNoprintScopedToCoreAndSim(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/trace", `package trace
+
+import "fmt"
+
+func Render() { fmt.Println("tables may print") }
+`)
+	if got := rulesOf(fs); got["noprint"] != 0 {
+		t.Errorf("noprint must only apply to internal/core and internal/sim:\n%v", fs)
+	}
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// noprintRule keeps the mapper and simulator free of direct console
+// output: both run inside worker pools and benchmarks where stray
+// writes interleave nondeterministically and corrupt golden outputs.
+// Diagnostics must flow through returned errors or the obs recorder
+// (internal/obs), never fmt.Print*/log.* side effects. fmt.Fprint* to a
+// caller-supplied writer and fmt.Sprintf stay legal.
+var noprintRule = &Rule{
+	Name: "noprint",
+	Doc:  "direct console output inside internal/core or internal/sim",
+	Applies: func(pkgPath string) bool {
+		return strings.HasSuffix(pkgPath, "internal/core") ||
+			strings.HasSuffix(pkgPath, "internal/sim")
+	},
+	Check: checkNoprint,
+}
+
+// stdoutPrintFuncs are the fmt functions that write to os.Stdout
+// implicitly.
+var stdoutPrintFuncs = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+func checkNoprint(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pkgNameOf(p.Info, x) {
+			case "fmt":
+				if stdoutPrintFuncs[sel.Sel.Name] {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: "noprint",
+						Msg: "fmt." + sel.Sel.Name + " writes to stdout inside the mapper/simulator; " +
+							"return an error or record through the obs recorder",
+					})
+				}
+			case "log":
+				out = append(out, Finding{
+					Pos:  p.Fset.Position(call.Pos()),
+					Rule: "noprint",
+					Msg: "log." + sel.Sel.Name + " inside the mapper/simulator; " +
+						"return an error or record through the obs recorder",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Phase codes follow the Chrome trace_event format: "X" is a complete
+// (duration) event, "i" an instant event.
+const (
+	PhaseComplete = "X"
+	PhaseInstant  = "i"
+)
+
+// Well-known process IDs partitioning the timeline into Perfetto tracks:
+// wall-clock spans of the toolchain vs. the simulator's cycle-domain
+// timeline (1 simulated cycle rendered as 1 µs).
+const (
+	PIDTool = 1 // mapper / verifier / CLI phases, wall-clock µs
+	PIDSim  = 2 // simulator block executions, cycle-stamped
+)
+
+// Event is one structured instrumentation event. Field names mirror the
+// Chrome trace_event JSON keys so one struct serves both the JSONL log
+// and the trace exporter.
+type Event struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the phase code (PhaseComplete, PhaseInstant).
+	Ph string `json:"ph"`
+	// TS is the event timestamp in microseconds since the recorder
+	// started (or in simulated cycles for PIDSim events).
+	TS float64 `json:"ts"`
+	// Dur is the span duration in the same unit, for complete events.
+	Dur float64 `json:"dur,omitempty"`
+	PID int     `json:"pid"`
+	TID int     `json:"tid"`
+	// Args carries event-specific payload (kept small; values must be
+	// JSON-encodable).
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Sink consumes events. Implementations must be safe for concurrent
+// Emit calls (portfolio workers share one sink).
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONLSink writes each event as one JSON line — the structured event
+// log. Encoding errors are recorded and reported by Err rather than
+// interrupting the instrumented computation.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = s.enc.Encode(e)
+	}
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// BufferSink collects events in memory, bounded by Cap, for later export
+// (WriteTrace / WriteJSONL). Dropped counts events discarded past the cap
+// — truncation is reported, never silent.
+type BufferSink struct {
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped int64
+}
+
+// DefaultBufferCap bounds a BufferSink when no explicit cap is given:
+// large enough for a full cgrabench evaluation, small enough that a
+// runaway event source cannot exhaust memory.
+const DefaultBufferCap = 1 << 18
+
+// NewBufferSink returns a buffering sink holding at most cap events
+// (DefaultBufferCap when cap <= 0).
+func NewBufferSink(cap int) *BufferSink {
+	if cap <= 0 {
+		cap = DefaultBufferCap
+	}
+	return &BufferSink{cap: cap}
+}
+
+// Emit appends the event, dropping it when the buffer is full.
+func (s *BufferSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.events) >= s.cap {
+		s.dropped++
+		return
+	}
+	s.events = append(s.events, e)
+}
+
+// Events returns a copy of the buffered events.
+func (s *BufferSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Dropped returns how many events were discarded past the cap.
+func (s *BufferSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// WriteJSONL writes the buffered events as JSON lines.
+func (s *BufferSink) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range s.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("obs: writing events: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteTrace writes the buffered events in the Chrome trace_event JSON
+// format (the {"traceEvents": [...]} object form), which chrome://tracing
+// and Perfetto's trace viewer load directly. Process-name metadata labels
+// the PIDTool and PIDSim tracks.
+func (s *BufferSink) WriteTrace(w io.Writer) error {
+	events := s.Events()
+	type traceFile struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	tf := traceFile{DisplayTimeUnit: "ms"}
+	meta := func(pid int, name string) json.RawMessage {
+		b, _ := json.Marshal(map[string]any{
+			"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+			"args": map[string]any{"name": name},
+		})
+		return b
+	}
+	tf.TraceEvents = append(tf.TraceEvents, meta(PIDTool, "toolchain (wall µs)"), meta(PIDSim, "simulator (cycles)"))
+	for i := range events {
+		b, err := json.Marshal(&events[i])
+		if err != nil {
+			return fmt.Errorf("obs: encoding trace event %q: %w", events[i].Name, err)
+		}
+		tf.TraceEvents = append(tf.TraceEvents, b)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(tf); err != nil {
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	return nil
+}
+
+// MultiSink fans each event out to every child sink.
+type MultiSink []Sink
+
+// Emit forwards the event to every sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}

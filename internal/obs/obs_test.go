@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestNilNoOps(t *testing.T) {
+	// Every handle in the no-op chain must be callable at nil.
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Counter("x").Add(3)
+	r.Gauge("x").Set(3)
+	r.Histogram("x").Observe(3)
+	r.Emit("e", "c", 0, nil)
+	r.EmitEvent(Event{Name: "e"})
+	r.StartSpan("s", "c", 0).End(nil)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	var reg *Registry
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	if reg.Counter("y") != nil {
+		t.Fatal("nil registry handed out a live counter")
+	}
+}
+
+func TestNilPathAllocFree(t *testing.T) {
+	// The disabled path is what the mapper hot loop pays; it must not
+	// allocate at all.
+	var r *Recorder
+	allocs := testing.AllocsPerRun(100, func() {
+		if r.Enabled() {
+			t.Fatal("unexpectedly enabled")
+		}
+		r.Counter("x").Inc()
+		r.StartSpan("s", "c", 0).End(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(2)
+	reg.Counter("b.count").Inc()
+	reg.Gauge("a.gauge").Set(7)
+	h := reg.Histogram("c.hist")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	snap := reg.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(snap))
+	}
+	if snap[0].Name != "a.gauge" || snap[1].Name != "b.count" || snap[2].Name != "c.hist" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+	if snap[0].Value != 7 || snap[0].Kind != KindGauge {
+		t.Fatalf("gauge snapshot %+v", snap[0])
+	}
+	if snap[1].Value != 3 || snap[1].Kind != KindCounter {
+		t.Fatalf("counter snapshot %+v", snap[1])
+	}
+	if snap[2].Count != 100 || snap[2].Value != 5050 {
+		t.Fatalf("histogram snapshot %+v", snap[2])
+	}
+	// Power-of-two buckets: the p50 upper bound must cover the true
+	// median (50) and stay below the max bucket's bound.
+	if snap[2].P50 < 50 || snap[2].P50 > 127 {
+		t.Fatalf("p50 = %d, want in [50,127]", snap[2].P50)
+	}
+	if snap[2].P99 < 100 {
+		t.Fatalf("p99 = %d, want >= 100", snap[2].P99)
+	}
+}
+
+func TestRegistryKindCollision(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	// Same name, different kind: must not panic, hands out a detached
+	// metric and keeps the original.
+	reg.Gauge("x").Set(9)
+	snap := reg.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != KindCounter || snap[0].Value != 1 {
+		t.Fatalf("collision snapshot %+v", snap)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				reg.Counter("shared").Inc()
+				reg.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("map.blocks").Add(4)
+	reg.Gauge("arena.free").Set(12)
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		for _, k := range []string{"name", "kind", "value"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("line %d missing %q: %s", lines, k, sc.Text())
+			}
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d JSONL lines, want 2", lines)
+	}
+}
+
+func TestBufferSinkCap(t *testing.T) {
+	s := NewBufferSink(3)
+	for i := 0; i < 5; i++ {
+		s.Emit(Event{Name: "e", Ph: PhaseInstant})
+	}
+	if got := len(s.Events()); got != 3 {
+		t.Fatalf("buffered %d events, want 3", got)
+	}
+	if got := s.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+func TestRecorderSpanAndTrace(t *testing.T) {
+	buf := NewBufferSink(0)
+	r := NewRecorder(NewRegistry(), buf)
+	sp := r.StartSpan("map.block", "core", 1)
+	r.Emit("memo.reset", "core", 1, map[string]any{"n": 3})
+	sp.End(map[string]any{"block": "entry"})
+	r.EmitEvent(Event{Name: "block", Cat: "sim", Ph: PhaseComplete, TS: 100, Dur: 40, PID: PIDSim, TID: 0})
+
+	events := buf.Events()
+	if len(events) != 3 {
+		t.Fatalf("captured %d events, want 3", len(events))
+	}
+	// Span events carry the start timestamp, not the end.
+	var span *Event
+	for i := range events {
+		if events[i].Name == "map.block" {
+			span = &events[i]
+		}
+	}
+	if span == nil || span.Ph != PhaseComplete || span.Dur <= 0 {
+		t.Fatalf("span event %+v", span)
+	}
+	if span.Args["block"] != "entry" {
+		t.Fatalf("span args %+v", span.Args)
+	}
+
+	var tr bytes.Buffer
+	if err := buf.WriteTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tr.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 2 process-name metadata records + the 3 events.
+	if len(parsed.TraceEvents) != 5 {
+		t.Fatalf("trace has %d records, want 5", len(parsed.TraceEvents))
+	}
+	for i, e := range parsed.TraceEvents {
+		if _, ok := e["ph"]; !ok {
+			t.Fatalf("trace record %d missing ph: %v", i, e)
+		}
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	s.Emit(Event{Name: "a", Ph: PhaseInstant, TS: 1})
+	s.Emit(Event{Name: "b", Ph: PhaseComplete, TS: 2, Dur: 5})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("wrote %d lines, want 2", n)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewBufferSink(0), NewBufferSink(0)
+	m := MultiSink{a, b}
+	m.Emit(Event{Name: "x", Ph: PhaseInstant})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatal("multi sink did not fan out")
+	}
+}
+
+func TestFileOutputs(t *testing.T) {
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "m.json")
+	ePath := filepath.Join(dir, "e.trace")
+	f := FileOutputs(mPath, ePath)
+	if !f.Enabled() {
+		t.Fatal("file recorder with paths is disabled")
+	}
+	f.Counter("runs").Inc()
+	f.StartSpan("work", "t", 0).End(nil)
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mv MetricValue
+	if err := json.Unmarshal(bytes.TrimSpace(mb), &mv); err != nil {
+		t.Fatalf("metrics file not JSONL: %v", err)
+	}
+	if mv.Name != "runs" || mv.Value != 1 {
+		t.Fatalf("metrics file content %+v", mv)
+	}
+	eb, err := os.ReadFile(ePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf map[string]any
+	if err := json.Unmarshal(eb, &tf); err != nil {
+		t.Fatalf("trace file not JSON: %v", err)
+	}
+	if _, ok := tf["traceEvents"]; !ok {
+		t.Fatal("trace file missing traceEvents")
+	}
+
+	// Fully disabled: nil recorder inside, Flush a no-op.
+	off := FileOutputs("", "")
+	if off.Enabled() {
+		t.Fatal("empty-path recorder is enabled")
+	}
+	off.Counter("x").Inc()
+	if err := off.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(0)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("zero-sample quantile != 0")
+	}
+	h.Observe(-5) // clamps to zero
+	if h.Count() != 2 || h.Sum() != 0 {
+		t.Fatalf("count=%d sum=%d after clamp", h.Count(), h.Sum())
+	}
+}

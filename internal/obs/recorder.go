@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// Recorder ties a metric Registry and an event Sink to one clock. It is
+// the handle instrumented code holds: a nil *Recorder is a complete
+// no-op (every method is nil-safe), so packages accept a recorder
+// unconditionally and callers opt in by supplying one.
+//
+// Recorders are safe for concurrent use when their sink is (all sinks in
+// this package are).
+type Recorder struct {
+	reg   *Registry
+	sink  Sink
+	start time.Time
+}
+
+// NewRecorder binds a registry and a sink. Either may be nil: a recorder
+// with only a registry counts, one with only a sink traces.
+func NewRecorder(reg *Registry, sink Sink) *Recorder {
+	return &Recorder{reg: reg, sink: sink, start: time.Now()}
+}
+
+// Enabled reports whether the recorder is live. Hot paths gate their
+// instrumentation on this single nil check.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Registry returns the recorder's registry (nil for the nil recorder).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Counter resolves a named counter (nil-safe at every level).
+func (r *Recorder) Counter(name string) *Counter { return r.Registry().Counter(name) }
+
+// Gauge resolves a named gauge.
+func (r *Recorder) Gauge(name string) *Gauge { return r.Registry().Gauge(name) }
+
+// Histogram resolves a named histogram.
+func (r *Recorder) Histogram(name string) *Histogram { return r.Registry().Histogram(name) }
+
+// now returns microseconds since the recorder started.
+func (r *Recorder) now() float64 {
+	return float64(time.Since(r.start)) / float64(time.Microsecond)
+}
+
+// Emit records an instant event on the toolchain track now.
+func (r *Recorder) Emit(name, cat string, tid int, args map[string]any) {
+	if r == nil || r.sink == nil {
+		return
+	}
+	r.sink.Emit(Event{Name: name, Cat: cat, Ph: PhaseInstant, TS: r.now(), PID: PIDTool, TID: tid, Args: args})
+}
+
+// EmitEvent records a fully caller-built event (the simulator uses this
+// to stamp events in the cycle domain on the PIDSim track).
+func (r *Recorder) EmitEvent(e Event) {
+	if r == nil || r.sink == nil {
+		return
+	}
+	r.sink.Emit(e)
+}
+
+// Span is an in-flight duration measurement. End emits the complete
+// event; the zero Span (from a nil recorder) is a no-op.
+type Span struct {
+	r    *Recorder
+	name string
+	cat  string
+	tid  int
+	t0   time.Time
+}
+
+// StartSpan opens a wall-clock span on the toolchain track. Always pair
+// with End.
+func (r *Recorder) StartSpan(name, cat string, tid int) Span {
+	if r == nil || r.sink == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, cat: cat, tid: tid, t0: time.Now()}
+}
+
+// End closes the span, attaching the args to the emitted event.
+func (s Span) End(args map[string]any) {
+	if s.r == nil {
+		return
+	}
+	dur := time.Since(s.t0)
+	ts := float64(s.t0.Sub(s.r.start)) / float64(time.Microsecond)
+	s.r.sink.Emit(Event{
+		Name: s.name, Cat: s.cat, Ph: PhaseComplete,
+		TS: ts, Dur: float64(dur) / float64(time.Microsecond),
+		PID: PIDTool, TID: s.tid, Args: args,
+	})
+}
+
+// FileRecorder is a Recorder whose outputs land in files when flushed.
+type FileRecorder struct {
+	*Recorder
+	buf         *BufferSink
+	metricsPath string
+	eventsPath  string
+}
+
+// FileOutputs builds the CLIs' standard -metrics/-events wiring: a
+// recorder whose registry snapshot is written as JSONL to metricsPath and
+// whose events are written as a Chrome trace to eventsPath by Flush.
+// Either path may be empty; with both empty the recorder is nil (fully
+// disabled) and Flush is still safe to call.
+func FileOutputs(metricsPath, eventsPath string) *FileRecorder {
+	f := &FileRecorder{metricsPath: metricsPath, eventsPath: eventsPath}
+	if metricsPath == "" && eventsPath == "" {
+		return f
+	}
+	var reg *Registry
+	if metricsPath != "" {
+		reg = NewRegistry()
+	}
+	var sink Sink
+	if eventsPath != "" {
+		f.buf = NewBufferSink(0)
+		sink = f.buf
+	}
+	f.Recorder = NewRecorder(reg, sink)
+	return f
+}
+
+// Flush writes the configured artifacts. It is idempotent in effect
+// (rewrites the same content) and safe on a disabled recorder.
+func (f *FileRecorder) Flush() error {
+	if f == nil || f.Recorder == nil {
+		return nil
+	}
+	if f.metricsPath != "" {
+		w, err := os.Create(f.metricsPath)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		if err := f.Registry().WriteJSONL(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	if f.eventsPath != "" {
+		w, err := os.Create(f.eventsPath)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		if err := f.buf.WriteTrace(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cdfg"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/verify"
 )
@@ -172,6 +173,10 @@ type CellResult struct {
 // pipeline; MutateMapping and Mutate inject faults, which the shrinker
 // and fault-injection tests use to prove the oracle catches binding bugs.
 type Pipeline struct {
+	// Obs, when non-nil, receives the oracle's instrumentation: per-check
+	// outcome-class counters, sweep progress events and shrink-step events.
+	// Instrumentation never influences which outcome a check produces.
+	Obs *obs.Recorder
 	// MutateMapping, when non-nil, corrupts the mapping between the
 	// memory-fit check and assembly — upstream of the static verifier, so
 	// structural faults it plants surface as Illegal.
@@ -186,6 +191,12 @@ type Pipeline struct {
 // Check maps the graph in the given cell, assembles and simulates it, and
 // compares the final data memory against the reference interpreter.
 func (p *Pipeline) Check(g *cdfg.Graph, mem cdfg.Memory, cell Cell, seed int64) CellResult {
+	r := p.check(g, mem, cell, seed)
+	p.recordCheck(r)
+	return r
+}
+
+func (p *Pipeline) check(g *cdfg.Graph, mem cdfg.Memory, cell Cell, seed int64) CellResult {
 	r := CellResult{Cell: cell}
 	opt := cell.Mode.Options()
 	opt.Seed = seed

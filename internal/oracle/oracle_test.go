@@ -15,6 +15,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -80,7 +81,19 @@ func TestSweepClean(t *testing.T) {
 		n = v
 	}
 	var p Pipeline
+	// ORACLE_METRICS names a JSONL file the sweep's counters are written
+	// to; CI's oracle smoke step uses it to validate the metrics artifact.
+	var fr *obs.FileRecorder
+	if path := os.Getenv("ORACLE_METRICS"); path != "" {
+		fr = obs.FileOutputs(path, "")
+		p.Obs = fr.Recorder
+	}
 	rep := p.Sweep(SweepOptions{N: n, Seed: 424200})
+	if fr != nil {
+		if err := fr.Flush(); err != nil {
+			t.Fatalf("flushing ORACLE_METRICS: %v", err)
+		}
+	}
 	t.Logf("\n%s", rep)
 	for _, f := range rep.Failures {
 		for _, bug := range f.Bugs() {

@@ -19,19 +19,12 @@ type FailFn func(g *cdfg.Graph, mem cdfg.Memory) bool
 // The result is the smallest graph found — typically a handful of nodes
 // for real mapper bugs, which is what makes the testdata reproducers
 // readable and fast to replay.
+//
+// Shrink is the uninstrumented form; Pipeline.Shrink performs the same
+// minimization and additionally emits per-step events to the pipeline's
+// recorder.
 func Shrink(g *cdfg.Graph, mem cdfg.Memory, fails FailFn, maxRounds int) *cdfg.Graph {
-	if maxRounds <= 0 {
-		maxRounds = 1000
-	}
-	cur := g.Clone()
-	for round := 0; round < maxRounds; round++ {
-		next := shrinkStep(cur, mem, fails)
-		if next == nil {
-			return cur
-		}
-		cur = next
-	}
-	return cur
+	return (&Pipeline{}).Shrink(g, mem, fails, maxRounds)
 }
 
 // shrinkStep returns the first strictly smaller failing candidate, or nil

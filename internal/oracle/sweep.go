@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cdfg"
 )
@@ -113,15 +114,22 @@ func (p *Pipeline) Sweep(opt SweepOptions) *SweepReport {
 		workers = opt.N
 	}
 
+	// The sweep span and per-graph progress events land on one track per
+	// worker, so the trace shows the pool's actual occupancy; the report
+	// itself stays a pure function of the options.
+	sweepSpan := p.Obs.StartSpan("oracle.sweep", "oracle", 0)
+	var done atomic.Int64
+
 	results := make([]GraphResult, opt.N)
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
 				seed := opt.Seed + int64(i)
+				sp := p.Obs.StartSpan("oracle.graph", "oracle", w)
 				g, mem := cdfg.Generate(rand.New(rand.NewSource(seed)), opt.Gen)
 				results[i] = GraphResult{
 					Index: i,
@@ -130,8 +138,15 @@ func (p *Pipeline) Sweep(opt SweepOptions) *SweepReport {
 					Mem:   mem,
 					Cells: p.CheckAll(g, mem, cells, seed),
 				}
+				bugs := len(results[i].Bugs())
+				sp.End(map[string]any{"index": i, "seed": seed, "bugs": bugs})
+				if p.Obs.Enabled() {
+					p.Obs.Counter("oracle.graphs").Inc()
+					p.Obs.Emit("oracle.sweep.progress", "oracle", w,
+						map[string]any{"done": done.Add(1), "total": opt.N})
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < opt.N; i++ {
 		idx <- i
@@ -153,5 +168,9 @@ func (p *Pipeline) Sweep(opt SweepOptions) *SweepReport {
 			rep.Failures = append(rep.Failures, *gr)
 		}
 	}
+	sweepSpan.End(map[string]any{
+		"graphs": opt.N, "cells": len(cells),
+		"checked": rep.Checked, "failures": len(rep.Failures),
+	})
 	return rep
 }

@@ -1,0 +1,86 @@
+package power
+
+import (
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// StaticActivity derives the activity report a mapping predicts for a given
+// execution profile: every per-tile counter of sim.TileCounters computed
+// from the static schedule grids weighted by block-execution counts,
+// without running the simulator. Against a simulated run of the same
+// program, StaticActivity(m, res.BlockExecs, res.StallCycles) must agree
+// with res.Activity() counter for counter — any divergence means the
+// mapper's accounting (word counts, writebacks, pnop grouping) and the
+// simulator's reality have drifted apart. TestActivityCrossCheck enforces
+// this for every kernel × configuration.
+func StaticActivity(m *core.Mapping, execs map[cdfg.BBID]int64, stalls int64) *sim.ActivityReport {
+	n := m.Grid.NumTiles()
+	a := &sim.ActivityReport{
+		StallCycles: stalls,
+		ConfigWords: m.TotalWords(),
+		Tiles:       make([]sim.TileCounters, n),
+	}
+	var cycles int64
+	for _, b := range m.Blocks {
+		e := execs[b.BB]
+		if e == 0 {
+			continue
+		}
+		cycles += e * int64(b.Len)
+		nodes := m.Graph.Blocks[b.BB].Nodes
+		for t := 0; t < n; t++ {
+			tc := &a.Tiles[t]
+			// A pnop word is fetched once per maximal empty run (the same
+			// grouping countPnops and the assembler use); its remaining
+			// cycles are clock-gated.
+			inGap := false
+			for _, s := range b.Tiles[t] {
+				if s.Kind == core.SlotEmpty {
+					tc.IdleCycles += e
+					if !inGap {
+						tc.Fetches += e
+						tc.PnopFetches += e
+						inGap = true
+					}
+					continue
+				}
+				inGap = false
+				tc.Fetches += e
+				switch s.Kind {
+				case core.SlotOp:
+					tc.OpCycles += e
+					switch op := nodes[s.Node].Op; {
+					case op == cdfg.OpLoad:
+						tc.MemOps += e
+						tc.MemReads += e
+					case op == cdfg.OpStore:
+						tc.MemOps += e
+						tc.MemWrites += e
+					case op == cdfg.OpBr:
+						tc.BranchOps += e
+					default:
+						tc.ALUOps += e
+					}
+				case core.SlotMove:
+					tc.MoveCycles += e
+				}
+				for i := 0; i < s.NSrc; i++ {
+					switch s.Srcs[i].Kind {
+					case isa.SrcReg:
+						tc.RFReads += e
+					case isa.SrcConst:
+						tc.CRFReads += e
+					}
+				}
+				if s.WB {
+					tc.RFWrites += e
+				}
+			}
+		}
+	}
+	a.Cycles = cycles + stalls
+	return a
+}

@@ -1,0 +1,137 @@
+package power_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/power"
+	"repro/internal/sim"
+)
+
+// TestActivityCrossCheck is the activity-vs-power drift detector: for every
+// kernel × CM configuration, the activity report derived statically from
+// the mapping (StaticActivity over the simulator's block-execution profile)
+// must reproduce the simulator's observed counters, and the energy computed
+// from each side must agree. Divergence means the mapper's word/writeback
+// accounting and the simulator's execution have come apart.
+func TestActivityCrossCheck(t *testing.T) {
+	p := power.Default()
+	names := kernels.Names()
+	if testing.Short() {
+		names = names[:2]
+	}
+	for _, name := range names {
+		for _, cfg := range arch.ConfigNames() {
+			t.Run(name+"/"+string(cfg), func(t *testing.T) {
+				k, err := kernels.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				grid := arch.MustGrid(cfg)
+				// A few seeds of headroom: tight configurations legitimately
+				// reject some seeds ("no mapping solution" in the paper); a
+				// cell none of the seeds maps is skipped, not failed.
+				var m *core.Mapping
+				for seed := int64(1); seed <= 5; seed++ {
+					opt := core.DefaultOptions(core.FlowCAB)
+					opt.Seed = seed
+					if m, err = core.Map(k.Build(), grid, opt); err == nil {
+						break
+					}
+				}
+				if err != nil {
+					t.Skipf("no mapping under CAB on %s: %v", cfg, err)
+				}
+				prog, err := asm.Assemble(m)
+				if err != nil {
+					t.Fatalf("assemble: %v", err)
+				}
+				s, err := sim.New(prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run(k.Init())
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+
+				observed := res.Activity()
+				static := power.StaticActivity(m, res.BlockExecs, res.StallCycles)
+				if static.Cycles != observed.Cycles {
+					t.Errorf("cycles: static %d, observed %d", static.Cycles, observed.Cycles)
+				}
+				if static.ConfigWords != observed.ConfigWords {
+					t.Errorf("config words: static %d, observed %d", static.ConfigWords, observed.ConfigWords)
+				}
+				for i := range observed.Tiles {
+					if static.Tiles[i] != observed.Tiles[i] {
+						t.Errorf("tile %d counters drifted:\n static:   %+v\n observed: %+v",
+							i+1, static.Tiles[i], observed.Tiles[i])
+					}
+				}
+
+				se := p.ActivityEnergy(grid, static)
+				oe := p.CGRAEnergy(grid, res)
+				for _, c := range []struct {
+					name             string
+					static, observed float64
+				}{
+					{"config", se.Config, oe.Config},
+					{"fetch", se.Fetch, oe.Fetch},
+					{"compute", se.Compute, oe.Compute},
+					{"memory", se.Memory, oe.Memory},
+					{"leak", se.Leak, oe.Leak},
+					{"total", se.Total(), oe.Total()},
+				} {
+					if !closeEnough(c.static, c.observed) {
+						t.Errorf("%s energy: static %.9g µJ, observed %.9g µJ", c.name, c.static, c.observed)
+					}
+				}
+			})
+		}
+	}
+}
+
+// closeEnough allows only float round-off between the two derivations: the
+// counters are integers, so both sides evaluate the same model on the same
+// numbers and may differ only in summation order.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestActivityEnergyMatchesCGRAEnergy pins the delegation: energy from a
+// Result and from its extracted ActivityReport are the same breakdown.
+func TestActivityEnergyMatchesCGRAEnergy(t *testing.T) {
+	p := power.Default()
+	k, err := kernels.ByName("FIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := arch.MustGrid(arch.HET1)
+	m, err := core.Map(k.Build(), grid, core.DefaultOptions(core.FlowCAB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(k.Init())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.ActivityEnergy(grid, res.Activity()), p.CGRAEnergy(grid, res); got != want {
+		t.Fatalf("ActivityEnergy %+v != CGRAEnergy %+v", got, want)
+	}
+}

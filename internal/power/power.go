@@ -170,13 +170,25 @@ const pJtoUJ = 1e-6
 
 // CGRAEnergy derives the energy of a simulated CGRA run.
 func (p Params) CGRAEnergy(g *arch.Grid, r *sim.Result) EnergyBreakdown {
+	return p.activityEnergy(g, r.Cycles, r.Tiles)
+}
+
+// ActivityEnergy derives energy from an observed-activity report — the
+// same model as CGRAEnergy (both delegate to one implementation), consumed
+// directly from the simulator's instrumentation so energy can be recomputed
+// from recorded activity without the live Result.
+func (p Params) ActivityEnergy(g *arch.Grid, a *sim.ActivityReport) EnergyBreakdown {
+	return p.activityEnergy(g, a.Cycles, a.Tiles)
+}
+
+func (p Params) activityEnergy(g *arch.Grid, cycles int64, tiles []sim.TileCounters) EnergyBreakdown {
 	var e EnergyBreakdown
 	// One-time configuration initializes the physical context memories.
 	e.Config = p.ConfigWord * float64(g.TotalCM()) * pJtoUJ
 	var leakPerCycle float64
 	for i := range g.Tiles {
 		t := &g.Tiles[i]
-		tc := &r.Tiles[i]
+		tc := &tiles[i]
 		fe := p.FetchEnergy(t.CMWords)
 		e.Fetch += fe * float64(tc.Fetches) * pJtoUJ
 		e.Compute += (p.ALUEnergy*float64(tc.OpCycles) +
@@ -188,7 +200,7 @@ func (p Params) CGRAEnergy(g *arch.Grid, r *sim.Result) EnergyBreakdown {
 		leakPerCycle += p.CMLeak(t.CMWords) + p.LeakTile
 	}
 	leakPerCycle += p.LeakGlobal
-	e.Leak = leakPerCycle * float64(r.Cycles) * pJtoUJ
+	e.Leak = leakPerCycle * float64(cycles) * pJtoUJ
 	return e
 }
 

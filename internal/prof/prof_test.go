@@ -4,13 +4,17 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestStartWritesProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.out")
 	mem := filepath.Join(dir, "mem.out")
-	stop, err := Start(cpu, mem)
+	sink := obs.NewBufferSink(0)
+	rec := obs.NewRecorder(nil, sink)
+	stop, err := Start(cpu, mem, rec)
 	if err != nil {
 		t.Fatalf("Start: %v", err)
 	}
@@ -32,10 +36,53 @@ func TestStartWritesProfiles(t *testing.T) {
 			t.Errorf("profile %s is empty", p)
 		}
 	}
+	// One event per written profile, carrying the output path.
+	events := sink.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d profile events, want 2: %+v", len(events), events)
+	}
+	want := map[string]string{"prof.cpu_profile": cpu, "prof.heap_profile": mem}
+	for _, e := range events {
+		if p, ok := want[e.Name]; !ok || e.Args["path"] != p {
+			t.Errorf("unexpected profile event %+v", e)
+		}
+		delete(want, e.Name)
+	}
+}
+
+// TestStopIdempotent pins the defer-plus-explicit-call contract the CLIs
+// rely on: the second invocation is a no-op, not a double close or a
+// rewritten heap profile.
+func TestStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem, nil)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("first stop: %v", err)
+	}
+	fi, err := os.Stat(mem)
+	if err != nil {
+		t.Fatalf("heap profile not written: %v", err)
+	}
+	first := fi.ModTime()
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+	fi, err = os.Stat(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.ModTime().Equal(first) {
+		t.Error("second stop rewrote the heap profile")
+	}
 }
 
 func TestStartNoop(t *testing.T) {
-	stop, err := Start("", "")
+	stop, err := Start("", "", nil)
 	if err != nil {
 		t.Fatalf("Start: %v", err)
 	}
@@ -45,7 +92,7 @@ func TestStartNoop(t *testing.T) {
 }
 
 func TestStartBadPath(t *testing.T) {
-	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"), ""); err == nil {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"), "", nil); err == nil {
 		t.Fatal("expected error for uncreatable CPU profile path")
 	}
 }

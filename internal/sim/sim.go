@@ -17,6 +17,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/interconnect"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // TileCounters aggregates per-tile activity for the energy model.
@@ -30,6 +31,13 @@ type TileCounters struct {
 	MoveCycles int64
 	// IdleCycles counts clock-gated pnop cycles.
 	IdleCycles int64
+	// ALUOps/MemOps/BranchOps decompose OpCycles by operation class
+	// (ALUOps + MemOps + BranchOps == OpCycles); PnopFetches is the pnop
+	// share of Fetches (Fetches == OpCycles + MoveCycles + PnopFetches).
+	ALUOps      int64
+	MemOps      int64
+	BranchOps   int64
+	PnopFetches int64
 	// RFReads/RFWrites count regular-register-file accesses.
 	RFReads  int64
 	RFWrites int64
@@ -38,6 +46,53 @@ type TileCounters struct {
 	// MemReads/MemWrites count data-memory accesses through the LSU.
 	MemReads  int64
 	MemWrites int64
+}
+
+// Add accumulates o into c.
+func (c *TileCounters) Add(o TileCounters) {
+	c.Fetches += o.Fetches
+	c.OpCycles += o.OpCycles
+	c.MoveCycles += o.MoveCycles
+	c.IdleCycles += o.IdleCycles
+	c.ALUOps += o.ALUOps
+	c.MemOps += o.MemOps
+	c.BranchOps += o.BranchOps
+	c.PnopFetches += o.PnopFetches
+	c.RFReads += o.RFReads
+	c.RFWrites += o.RFWrites
+	c.CRFReads += o.CRFReads
+	c.MemReads += o.MemReads
+	c.MemWrites += o.MemWrites
+}
+
+// ActivityReport is the observed-activity view of one execution: the
+// cycle-accurate per-tile counters plus the run totals, decoupled from the
+// live Result so consumers (internal/power, serialization) can hold it
+// without the block-execution map.
+type ActivityReport struct {
+	Cycles      int64
+	StallCycles int64
+	ConfigWords int
+	Tiles       []TileCounters
+}
+
+// Activity extracts the result's activity report (tile counters copied).
+func (r *Result) Activity() *ActivityReport {
+	return &ActivityReport{
+		Cycles:      r.Cycles,
+		StallCycles: r.StallCycles,
+		ConfigWords: r.ConfigWords,
+		Tiles:       append([]TileCounters(nil), r.Tiles...),
+	}
+}
+
+// Total sums the per-tile counters.
+func (a *ActivityReport) Total() TileCounters {
+	var t TileCounters
+	for i := range a.Tiles {
+		t.Add(a.Tiles[i])
+	}
+	return t
 }
 
 // Result is one simulated execution.
@@ -75,6 +130,9 @@ type Sim struct {
 	expanded [][][]*isa.Instr
 	// maxMismatches caps the divergent words a RunVerified failure records.
 	maxMismatches int
+	// obs, when non-nil, receives run counters and the cycle-domain block
+	// timeline (see WithObs).
+	obs *obs.Recorder
 }
 
 // Option configures a simulator instance.
@@ -90,6 +148,19 @@ func WithMaxMismatches(n int) Option {
 		}
 	}
 }
+
+// WithObs attaches an instrumentation recorder: each Run publishes its
+// aggregate activity counters and stamps one timeline event per
+// basic-block execution in the cycle domain (PIDSim, one simulated cycle
+// rendered as one microsecond), capped at blockEventCap events per run so
+// long executions cannot flood the sink (the overflow is counted on
+// sim.trace.truncated). A nil recorder is a no-op.
+func WithObs(r *obs.Recorder) Option {
+	return func(s *Sim) { s.obs = r }
+}
+
+// blockEventCap bounds the block-execution timeline events one Run emits.
+const blockEventCap = 4096
 
 // decodedContexts is the program's per-cycle instruction grid, published
 // on the program's memo slot so repeated simulator instances of the same
@@ -177,12 +248,17 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 	}
 	var memOps []memOp
 
+	tracing := s.obs.Enabled()
+	blockEvents := 0
+	var blockEventsDropped int64
+
 	for {
 		if res.Cycles > MaxCycles {
 			return res, fmt.Errorf("sim: exceeded %d cycles in %q", MaxCycles, p.Graph.Name)
 		}
 		b := p.Graph.Blocks[cur]
 		res.BlockExecs[cur]++
+		blockStart := res.Cycles
 		grid := s.expanded[cur]
 		blockLen := p.BlockLens[cur]
 		branchTaken := false
@@ -202,6 +278,7 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 				if in == nil {
 					if !prevIdle[t] {
 						tc.Fetches++ // the pnop word itself
+						tc.PnopFetches++
 					}
 					prevIdle[t] = true
 					tc.IdleCycles++
@@ -220,17 +297,21 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 					hasOut[t] = true
 				case in.Op == cdfg.OpLoad:
 					tc.OpCycles++
+					tc.MemOps++
 					memOps = append(memOps, memOp{tile: t, load: true, addr: vals[0]})
 					accs = append(accs, interconnect.Access{Tile: arch.TileID(t), Addr: vals[0]})
 				case in.Op == cdfg.OpStore:
 					tc.OpCycles++
+					tc.MemOps++
 					memOps = append(memOps, memOp{tile: t, addr: vals[0], value: vals[1]})
 					accs = append(accs, interconnect.Access{Tile: arch.TileID(t), Addr: vals[0], Store: true})
 				case in.Op == cdfg.OpBr:
 					tc.OpCycles++
+					tc.BranchOps++
 					branchTaken = vals[0] != 0
 				default:
 					tc.OpCycles++
+					tc.ALUOps++
 					v, err := cdfg.EvalOp(in.Op, vals)
 					if err != nil {
 						return res, fmt.Errorf("sim: block %q cycle %d tile %d: %w", b.Name, c, t+1, err)
@@ -280,6 +361,21 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 				}
 			}
 		}
+		if tracing {
+			// Block executions land on the simulator's cycle-domain track:
+			// the timestamp is the block's starting cycle, the duration its
+			// cycle count including stalls.
+			if blockEvents < blockEventCap {
+				blockEvents++
+				s.obs.EmitEvent(obs.Event{
+					Name: b.Name, Cat: "sim.block", Ph: obs.PhaseComplete,
+					TS: float64(blockStart), Dur: float64(res.Cycles - blockStart),
+					PID: obs.PIDSim, TID: 0,
+				})
+			} else {
+				blockEventsDropped++
+			}
+		}
 		switch {
 		case b.HasBranch():
 			if branchTaken {
@@ -290,8 +386,41 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 		case len(b.Succs) == 1:
 			cur = b.Succs[0]
 		default:
+			s.recordRun(res, blockEventsDropped)
 			return res, nil
 		}
+	}
+}
+
+// recordRun publishes a completed run's aggregate activity to the
+// attached recorder.
+func (s *Sim) recordRun(res *Result, dropped int64) {
+	r := s.obs
+	if !r.Enabled() {
+		return
+	}
+	var agg TileCounters
+	for i := range res.Tiles {
+		agg.Add(res.Tiles[i])
+	}
+	r.Counter("sim.runs").Inc()
+	r.Counter("sim.cycles").Add(res.Cycles)
+	r.Counter("sim.stall_cycles").Add(res.StallCycles)
+	r.Counter("sim.config_words").Add(int64(res.ConfigWords))
+	r.Counter("sim.fetches").Add(agg.Fetches)
+	r.Counter("sim.alu_ops").Add(agg.ALUOps)
+	r.Counter("sim.mem_ops").Add(agg.MemOps)
+	r.Counter("sim.branch_ops").Add(agg.BranchOps)
+	r.Counter("sim.moves").Add(agg.MoveCycles)
+	r.Counter("sim.pnop_fetches").Add(agg.PnopFetches)
+	r.Counter("sim.idle_cycles").Add(agg.IdleCycles)
+	r.Counter("sim.rf_reads").Add(agg.RFReads)
+	r.Counter("sim.rf_writes").Add(agg.RFWrites)
+	r.Counter("sim.crf_reads").Add(agg.CRFReads)
+	r.Counter("sim.mem_reads").Add(agg.MemReads)
+	r.Counter("sim.mem_writes").Add(agg.MemWrites)
+	if dropped > 0 {
+		r.Counter("sim.trace.truncated").Add(dropped)
 	}
 }
 

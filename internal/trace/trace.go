@@ -145,6 +145,24 @@ func truncate(s string, n int) string {
 	return s[:n-3] + "..."
 }
 
+// MetricRow is one rendered metric for the Metrics table: a name and its
+// display form. Callers convert their metric snapshots (for example
+// obs.MetricValue, via its Display method) so this package stays free of
+// instrumentation dependencies.
+type MetricRow struct {
+	Name  string
+	Value string
+}
+
+// Metrics renders an instrumentation snapshot as a two-column table.
+func Metrics(title string, rows []MetricRow) string {
+	t := NewTable(title, "metric", "value")
+	for _, r := range rows {
+		t.Add(r.Name, r.Value)
+	}
+	return t.String()
+}
+
 // Utilization renders per-tile context-memory occupancy like the paper's
 // Fig 2: one row per tile with a bar of used/capacity.
 func Utilization(title string, used []int, capacity []int) string {

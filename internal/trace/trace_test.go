@@ -94,3 +94,15 @@ func TestUtilization(t *testing.T) {
 		t.Errorf("utilization rendering:\n%s", s)
 	}
 }
+
+func TestMetrics(t *testing.T) {
+	out := Metrics("counters", []MetricRow{
+		{Name: "core.map.calls", Value: "3"},
+		{Name: "core.map.us", Value: "n=3 sum=1200 p50=380 p99=600"},
+	})
+	for _, want := range []string{"counters", "metric", "core.map.calls", "p99=600"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Metrics output misses %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/sim"
 	"repro/internal/verify"
@@ -156,6 +157,50 @@ func BenchmarkOracleCheck(b *testing.B) {
 				r := p.Check(g, k.Init(), cell, 1)
 				if r.Outcome.Bug() {
 					b.Fatalf("oracle found a bug in %s: %v", k.Name, r.Err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoreMapObsOff pins the disabled-instrumentation hot path: an
+// explicitly nil recorder must cost BenchmarkCoreMap nothing — zero extra
+// allocations per op. scripts/bench.sh -compare checks each ObsOff result
+// against the plain CoreMap baseline in BENCH_core.json with a 0% alloc
+// tolerance.
+func BenchmarkCoreMapObsOff(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		g := k.Build()
+		b.Run(k.Name, func(b *testing.B) {
+			opt := core.DefaultOptions(core.FlowCAB)
+			opt.Obs = nil
+			b.ReportAllocs()
+			warm(b, func() error { _, err := core.Map(g, perfGrid(), opt); return err })
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Map(g, perfGrid(), opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoreMapObsOn measures the live-recorder cost: registry
+// counters, phase timers and per-Map spans into a buffered sink. The
+// delta against BenchmarkCoreMapObsOff is the price of -metrics/-events.
+func BenchmarkCoreMapObsOn(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		g := k.Build()
+		b.Run(k.Name, func(b *testing.B) {
+			opt := core.DefaultOptions(core.FlowCAB)
+			opt.Obs = obs.NewRecorder(obs.NewRegistry(), obs.NewBufferSink(0))
+			b.ReportAllocs()
+			warm(b, func() error { _, err := core.Map(g, perfGrid(), opt); return err })
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Map(g, perfGrid(), opt); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

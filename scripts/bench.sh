@@ -81,9 +81,14 @@ fi
 tol_ns="${BENCH_TOLERANCE_PCT:-30}"
 tol_bytes="${BENCH_BYTES_TOLERANCE_PCT:-50}"
 tol_allocs="${BENCH_ALLOCS_TOLERANCE_PCT:-25}"
+# The obs-off gate: BenchmarkCoreMapObsOff must allocate exactly what the
+# same run's BenchmarkCoreMap did (a nil recorder is free). The default 0%
+# is exact on full bench runs; the 1x CI gate widens it because a GC can
+# evict the arena pool between single iterations (see ci.sh).
+tol_obsoff="${BENCH_OBSOFF_ALLOCS_TOLERANCE_PCT:-0}"
 echo
-echo "== compare vs $baseline (tolerance ns +${tol_ns}%, B/op +${tol_bytes}%, allocs/op +${tol_allocs}%)"
-awk -v tol_ns="$tol_ns" -v tol_bytes="$tol_bytes" -v tol_allocs="$tol_allocs" '
+echo "== compare vs $baseline (tolerance ns +${tol_ns}%, B/op +${tol_bytes}%, allocs/op +${tol_allocs}%, obs-off allocs +${tol_obsoff}%)"
+awk -v tol_ns="$tol_ns" -v tol_bytes="$tol_bytes" -v tol_allocs="$tol_allocs" -v tol_obsoff="$tol_obsoff" '
 function field(line, key,   v) {
     v = line
     if (!sub(".*\"" key "\": *", "", v)) return ""
@@ -115,6 +120,17 @@ function check(name, metric, b, c, tol,   delta, mark) {
         base_bytes[name]  = field($0, "bytes_per_op")
         base_allocs[name] = field($0, "allocs_per_op")
         next
+    }
+    # Remember the numbers of this very run: the obs-off gate below
+    # compares within the run, where allocation counts are exact, not
+    # against a baseline written on a machine with different GC timing.
+    cur_allocs[name] = field($0, "allocs_per_op")
+    # The ObsOff benchmarks pin the disabled-instrumentation hot path: a
+    # nil recorder must not add a single allocation over this same run
+    # of the plain BenchmarkCoreMap.
+    alt = name
+    if (sub(/^BenchmarkCoreMapObsOff\//, "BenchmarkCoreMap/", alt) && (alt in cur_allocs)) {
+        check(name " (obs-off)", "allocs/op", cur_allocs[alt], field($0, "allocs_per_op"), tol_obsoff)
     }
     if (!(name in base_ns)) {
         printf "%-42s %14s ns/op  (no baseline)\n", name, field($0, "ns_per_op")

@@ -24,10 +24,20 @@ go build ./...
 # CDFGs across every mode × CM config, run up front so a mapper or
 # simulator divergence fails fast, before the full suite (which runs the
 # unbounded 200-graph acceptance sweep) spends its time budget.
+#
+# The sweep doubles as the instrumentation smoke: ORACLE_METRICS makes
+# TestSweepClean attach an obs recorder and flush its counters as a
+# metrics JSONL artifact, which cgrametrics then validates line by line
+# (a malformed counter file fails the build) and prints as the summary.
 sweep_n=25
 if [ -n "$short" ]; then sweep_n=10; fi
-echo "== oracle sweep (ORACLE_SWEEP_N=$sweep_n)"
-ORACLE_SWEEP_N=$sweep_n go test -run TestSweepClean ./internal/oracle
+oracle_metrics="$(mktemp)"
+trap 'rm -f "$oracle_metrics"' EXIT
+echo "== oracle sweep (ORACLE_SWEEP_N=$sweep_n, ORACLE_METRICS on)"
+ORACLE_SWEEP_N=$sweep_n ORACLE_METRICS="$oracle_metrics" \
+    go test -run TestSweepClean ./internal/oracle
+echo "== oracle sweep metrics (cgrametrics)"
+go run ./cmd/cgrametrics "$oracle_metrics"
 
 echo "== go test $short ./..."
 go test $short ./...
@@ -46,10 +56,15 @@ go test -race -timeout 45m $short ./...
 # the tolerance sits above that noise floor. The regression this guards
 # against — losing arena reuse or plan memoization — is 4-6 orders of
 # magnitude, far past any tolerance here.
+# The obs-off gate (BenchmarkCoreMapObsOff vs the same run's
+# BenchmarkCoreMap) is exact on full bench runs, but at one iteration it
+# rides the same arena-pool GC noise, so it gets the same widened
+# tolerance here.
 echo "== bench gate (scripts/bench.sh -compare, 1 iteration)"
 BENCH_TOLERANCE_PCT=400 \
 BENCH_BYTES_TOLERANCE_PCT=400 \
 BENCH_ALLOCS_TOLERANCE_PCT=${BENCH_ALLOCS_TOLERANCE_PCT:-250} \
+BENCH_OBSOFF_ALLOCS_TOLERANCE_PCT=${BENCH_OBSOFF_ALLOCS_TOLERANCE_PCT:-250} \
     scripts/bench.sh -compare -benchtime=1x
 
 echo "CI OK"
