@@ -6,6 +6,7 @@
 //	cgrabench             # the whole evaluation
 //	cgrabench -fig 6      # one figure (2, 5, 6, 7, 8, 9, 10, 11)
 //	cgrabench -table 2    # Table II
+//	cgrabench -gap 5000   # heuristic-vs-exact optimality gap at that node budget
 //	cgrabench -parallel 4 # bound the evaluation worker pool
 //
 // Cells fan out across a worker pool (default: one worker per CPU); the
@@ -23,6 +24,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/obs"
@@ -33,6 +35,7 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (2, 5, 6, 7, 8, 9, 10, 11); 0 = all")
 	table := flag.Int("table", 0, "regenerate one table (2); 0 = all")
+	gap := flag.Int("gap", 0, "render the heuristic-vs-exact optimality gap table at this exact node budget instead of the evaluation; 0 = off")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "evaluation worker pool size (1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -52,7 +55,7 @@ func main() {
 	r := exp.NewRunner()
 	r.Workers = *parallel
 	r.Obs = fr.Recorder
-	err = run(os.Stdout, r, *fig, *table)
+	err = run(os.Stdout, r, *fig, *table, *gap)
 	if err == nil && fr.Recorder.Enabled() {
 		fmt.Fprint(os.Stdout, r.InstrumentationSummary())
 		if reg := fr.Registry(); reg != nil {
@@ -75,7 +78,15 @@ func main() {
 	}
 }
 
-func run(w io.Writer, r *exp.Runner, fig, table int) error {
+func run(w io.Writer, r *exp.Runner, fig, table, gap int) error {
+	if gap > 0 {
+		t, err := r.RunGapTable(arch.HOM64, gap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, t.Render())
+		return nil
+	}
 	if fig == 0 && table == 0 {
 		out, err := r.RenderAll()
 		if err != nil {

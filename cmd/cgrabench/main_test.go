@@ -13,7 +13,7 @@ import (
 func TestRunFig11Smoke(t *testing.T) {
 	var sb strings.Builder
 	r := exp.NewRunner()
-	if err := run(&sb, r, 11, 0); err != nil {
+	if err := run(&sb, r, 11, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -30,7 +30,7 @@ func TestRunFig2Smoke(t *testing.T) {
 	}
 	var sb strings.Builder
 	r := exp.NewRunner()
-	if err := run(&sb, r, 2, 0); err != nil {
+	if err := run(&sb, r, 2, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "Fig 2") || !strings.Contains(sb.String(), "mean occupancy") {
@@ -40,7 +40,7 @@ func TestRunFig2Smoke(t *testing.T) {
 
 func TestRunRejectsUnknownFigure(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, exp.NewRunner(), 42, 0); err == nil {
+	if err := run(&sb, exp.NewRunner(), 42, 0, 0); err == nil {
 		t.Error("unknown figure should fail")
 	}
 }

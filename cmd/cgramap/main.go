@@ -42,6 +42,7 @@ type cliOptions struct {
 	kernel   string
 	config   string
 	flow     string
+	backend  string
 	listing  bool
 	dot      bool
 	verify   bool
@@ -58,6 +59,8 @@ func main() {
 	flag.StringVar(&o.kernel, "kernel", "FIR", "kernel name: "+strings.Join(kernels.Names(), ", "))
 	flag.StringVar(&o.config, "config", "HOM64", "CGRA configuration: HOM64, HOM32, HET1, HET2")
 	flag.StringVar(&o.flow, "flow", "cab", "mapping flow: basic, acmap, ecmap, cab")
+	flag.StringVar(&o.backend, "backend", "heuristic",
+		"mapping backend: "+strings.Join(core.BackendNames(), ", ")+", or race (all backends compete, best mapping wins)")
 	flag.BoolVar(&o.listing, "listing", false, "print the per-tile context disassembly")
 	flag.BoolVar(&o.dot, "dot", false, "print the kernel CDFG in Graphviz DOT form and exit")
 	flag.BoolVar(&o.verify, "verify", false, "assemble and statically verify the mapping, reporting per-pass verdicts")
@@ -93,6 +96,22 @@ func main() {
 	}
 }
 
+// parseBackends resolves the -backend flag: a registered backend name
+// maps alone, "race" enters every registered backend into the portfolio.
+func parseBackends(s string) ([]core.Backend, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return []core.Backend{core.DefaultBackend()}, nil
+	case "race":
+		return core.Backends(), nil
+	}
+	b, err := core.BackendByName(strings.ToLower(s))
+	if err != nil {
+		return nil, err
+	}
+	return []core.Backend{b}, nil
+}
+
 func parseFlow(s string) (core.Flow, error) {
 	switch strings.ToLower(s) {
 	case "basic":
@@ -125,14 +144,19 @@ func run(w io.Writer, o cliOptions) error {
 	if err != nil {
 		return err
 	}
+	backends, err := parseBackends(o.backend)
+	if err != nil {
+		return err
+	}
 	opt := core.DefaultOptions(fl)
 	opt.Seed = o.seed
 	opt.Obs = o.rec
 	var m *core.Mapping
-	if o.seeds > 1 {
+	if o.seeds > 1 || len(backends) > 1 {
 		res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{
 			NumSeeds:  o.seeds,
 			Workers:   o.parallel,
+			Backends:  backends,
 			Objective: power.PortfolioObjective(power.Default()),
 		})
 		if err != nil {
@@ -142,12 +166,20 @@ func run(w io.Writer, o cliOptions) error {
 		fmt.Fprintf(w, "portfolio wall time %s\n", res.Wall.Round(1_000_000))
 		m = res.Mapping
 	} else {
-		m, err = core.Map(g, grid, opt)
+		m, err = backends[0].Map(context.Background(), g, grid, opt)
 		if err != nil {
 			return err
 		}
 	}
 	fmt.Fprintf(w, "mapped %s onto %s with %s in %s\n", o.kernel, grid.Name, fl, m.Stats.CompileTime.Round(1_000_000))
+	if ex := m.Stats.Exact; ex.NodeBudget > 0 {
+		status := fmt.Sprintf("budget %d exhausted", ex.NodeBudget)
+		if ex.Proven {
+			status = "proven optimal"
+		}
+		fmt.Fprintf(w, "exact search: warm start %d -> best %d words (%s; expanded %d, bound-pruned %d, conflict-pruned %d)\n",
+			ex.WarmWords, ex.BestWords, status, ex.Expanded, ex.BoundPruned, ex.ConflictPruned)
+	}
 	fmt.Fprintf(w, "ops %d, moves %d, pnops %d; partials explored %d (ACMAP pruned %d, ECMAP pruned %d, stochastic %d)\n",
 		m.TotalOps(), m.TotalMoves(), m.TotalPnops(),
 		m.Stats.Partials, m.Stats.PrunedACMAP, m.Stats.PrunedECMAP, m.Stats.PrunedStochastic)

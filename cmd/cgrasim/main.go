@@ -38,6 +38,7 @@ type cliOptions struct {
 	kernel   string
 	config   string
 	flow     string
+	backend  string
 	withCPU  bool
 	verify   bool
 	seed     int64
@@ -53,6 +54,8 @@ func main() {
 	flag.StringVar(&o.kernel, "kernel", "FIR", "kernel name: "+strings.Join(kernels.Names(), ", "))
 	flag.StringVar(&o.config, "config", "HOM64", "CGRA configuration: HOM64, HOM32, HET1, HET2")
 	flag.StringVar(&o.flow, "flow", "cab", "mapping flow: basic, acmap, ecmap, cab")
+	flag.StringVar(&o.backend, "backend", "heuristic",
+		"mapping backend: "+strings.Join(core.BackendNames(), ", ")+", or race (all backends compete, best mapping wins)")
 	flag.BoolVar(&o.withCPU, "cpu", false, "also run the or1k CPU baseline")
 	flag.BoolVar(&o.verify, "verify", false, "statically verify mapping and bitstream before simulating")
 	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
@@ -72,6 +75,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cgrasim:", err)
 		os.Exit(1)
 	}
+}
+
+// parseBackends resolves the -backend flag: a registered backend name
+// maps alone, "race" enters every registered backend into the portfolio.
+func parseBackends(s string) ([]core.Backend, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return []core.Backend{core.DefaultBackend()}, nil
+	case "race":
+		return core.Backends(), nil
+	}
+	b, err := core.BackendByName(strings.ToLower(s))
+	if err != nil {
+		return nil, err
+	}
+	return []core.Backend{b}, nil
 }
 
 func run(w io.Writer, o cliOptions) error {
@@ -97,14 +116,19 @@ func run(w io.Writer, o cliOptions) error {
 		return err
 	}
 	g := k.Build()
+	backends, err := parseBackends(o.backend)
+	if err != nil {
+		return err
+	}
 	opt := core.DefaultOptions(flow)
 	opt.Seed = o.seed
 	opt.Obs = o.rec
 	var m *core.Mapping
-	if o.seeds > 1 {
+	if o.seeds > 1 || len(backends) > 1 {
 		res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{
 			NumSeeds:  o.seeds,
 			Workers:   o.parallel,
+			Backends:  backends,
 			Objective: power.PortfolioObjective(power.Default()),
 		})
 		if err != nil {
@@ -113,7 +137,7 @@ func run(w io.Writer, o cliOptions) error {
 		fmt.Fprint(w, res.RenderReports())
 		m = res.Mapping
 	} else {
-		m, err = core.Map(g, grid, opt)
+		m, err = backends[0].Map(context.Background(), g, grid, opt)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,148 @@
+package repro
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/oracle"
+)
+
+const goldenExactPath = "testdata/golden_exact.txt"
+
+// goldenExactBudget pins the exact backend's node budget for the golden
+// cells. It must be explicit: the golden values are a pure function of
+// (mapper code, seed, budget), and an environment override leaking in
+// would make the file impossible to regenerate faithfully.
+const goldenExactBudget = 5000
+
+// exactCell maps one (kernel, mode, config) cell with the exact backend
+// and returns its golden line value — "<words> <hash>" over the assembled
+// bitstream, or "no-mapping" — plus the mapping for the gap assertion.
+func exactCell(t *testing.T, kernel kernels.Kernel, mode oracle.Mode, cfg arch.ConfigName, rec *obs.Recorder) (string, *core.Mapping) {
+	t.Helper()
+	g := kernel.Build()
+	grid := arch.MustGrid(cfg)
+	opt := mode.Options()
+	opt.ExactNodeBudget = goldenExactBudget
+	opt.Obs = rec
+	m, err := core.ExactBackend{}.Map(context.Background(), g, grid, opt)
+	if err != nil {
+		return "no-mapping", nil
+	}
+	prog, err := asm.Assemble(m)
+	if err != nil {
+		t.Fatalf("%s/%s/%s: assemble of an exact mapping failed: %v", kernel.Name, mode, cfg, err)
+	}
+	img, err := asm.SaveImage(prog)
+	if err != nil {
+		t.Fatalf("%s/%s/%s: image encode failed: %v", kernel.Name, mode, cfg, err)
+	}
+	sum := sha256.Sum256(img)
+	return fmt.Sprintf("%d %s", m.TotalWords(), hex.EncodeToString(sum[:6])), m
+}
+
+// TestGoldenExactMappings pins the exact branch-and-bound backend's
+// output on every suite kernel × mode × CM configuration: total context
+// words plus a bitstream checksum, under a fixed node budget. On top of
+// the golden comparison it asserts the PR's optimality invariant on every
+// cell — the heuristic warm start never beats the exact result — and
+// logs the per-cell optimality gap (the figure the exp gap table
+// renders). Regenerate deliberately with:
+//
+//	go test -run TestGoldenExactMappings -update-golden .
+func TestGoldenExactMappings(t *testing.T) {
+	modes := oracle.Modes()
+	configs := arch.ConfigNames()
+	if testing.Short() {
+		modes = []oracle.Mode{oracle.ModeBasic, oracle.ModeCAB}
+		configs = []arch.ConfigName{arch.HOM64, arch.HOM32}
+	}
+
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	var sb, gaps strings.Builder
+	improved, cells := 0, 0
+	for _, k := range kernels.All() {
+		for _, mode := range modes {
+			for _, cfg := range configs {
+				val, m := exactCell(t, k, mode, cfg, rec)
+				fmt.Fprintf(&sb, "%s %s %s %s\n", k.Name, mode, cfg, val)
+				if m == nil {
+					continue
+				}
+				cells++
+				ex := m.Stats.Exact
+				if ex.WarmWords >= 0 && ex.WarmWords < m.TotalWords() {
+					t.Errorf("%s/%s/%s: heuristic found %d words but exact returned %d — the warm-start invariant broke",
+						k.Name, mode, cfg, ex.WarmWords, m.TotalWords())
+				}
+				if ex.WarmWords > m.TotalWords() {
+					improved++
+					fmt.Fprintf(&gaps, "  %s/%s/%s: heuristic %d -> exact %d (gap %.1f%%)\n",
+						k.Name, mode, cfg, ex.WarmWords, m.TotalWords(),
+						100*float64(ex.WarmWords-m.TotalWords())/float64(ex.WarmWords))
+				}
+			}
+		}
+	}
+	got := sb.String()
+	// The gap report rides the obs registry: the same counters the CLIs
+	// and the CI metrics artifact surface.
+	t.Logf("optimality gap: %d of %d cells improved; core.exact.improved=%d core.exact.expanded=%d\n%s",
+		improved, cells,
+		rec.Counter("core.exact.improved").Value(),
+		rec.Counter("core.exact.expanded").Value(), gaps.String())
+
+	if *updateGolden {
+		if testing.Short() {
+			t.Fatal("refusing to write a partial golden file under -short")
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenExactPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cells)", goldenExactPath, strings.Count(got, "\n"))
+		return
+	}
+
+	data, err := os.ReadFile(goldenExactPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+	}
+	want := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[f[0]+" "+f[1]+" "+f[2]] = strings.Join(f[3:], " ")
+	}
+	checked := 0
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		f := strings.Fields(line)
+		key := f[0] + " " + f[1] + " " + f[2]
+		w, ok := want[key]
+		if !ok {
+			t.Errorf("%s: cell missing from golden file (regenerate with -update-golden)", key)
+			continue
+		}
+		checked++
+		if val := strings.Join(f[3:], " "); val != w {
+			t.Errorf("%s: exact result %q, golden %q — the exact backend's output drifted", key, val, w)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no golden cells checked")
+	}
+}

@@ -106,6 +106,42 @@ type Stats struct {
 	MemoMisses    int
 	MemoResets    int
 	MemoEvictions int
+
+	// Exact describes the branch-and-bound run when the mapping came from
+	// the exact backend; zero for heuristic mappings.
+	Exact ExactStats
+}
+
+// ExactStats describes one exact-backend search.
+type ExactStats struct {
+	// NodeBudget is the resolved expansion budget the search ran under.
+	NodeBudget int
+	// Expanded counts DFS nodes whose candidate set was enumerated.
+	Expanded int
+	// Leaves counts fully-bound blocks reached (finalize attempts).
+	Leaves int
+	// BoundPruned counts subtrees cut by the admissible word lower bound;
+	// ConflictPruned counts revisits of fully-refuted states (the nogood
+	// cache); MemPruned counts children over a tile's hard word budget.
+	BoundPruned    int
+	ConflictPruned int
+	MemPruned      int
+	// DataflowRejected counts complete mappings the symbolic dataflow
+	// checker refused; nonzero values are worth investigating (the search
+	// committed a schedule the checker refutes) but never escape the
+	// backend.
+	DataflowRejected int
+	// Improved counts strict improvements over the warm-start incumbent.
+	Improved int
+	// Proven is set when the search exhausted its move space within the
+	// budget: the result is optimal within that space, not just the best
+	// found so far.
+	Proven bool
+	// WarmWords is the heuristic warm start's total context words (-1 if
+	// the heuristic found no mapping); BestWords is the returned
+	// mapping's.
+	WarmWords int
+	BestWords int
 }
 
 // Mapping is a complete mapping of a CDFG onto a CGRA configuration.

@@ -36,3 +36,18 @@ func recordMapStats(r *obs.Recorder, st *Stats, ar *mapperArena) {
 	r.Gauge("core.arena.memo_chunk_cap").Set(int64(cap(ar.memoVals.buf)))
 	r.Gauge("core.arena.path_cache_size").Set(int64(len(ar.pathCache)))
 }
+
+// recordExactStats publishes one exact-backend search's counters. Like
+// recordMapStats it runs once per Map call, only with a recorder attached.
+func recordExactStats(r *obs.Recorder, st *ExactStats) {
+	r.Counter("core.exact.expanded").Add(int64(st.Expanded))
+	r.Counter("core.exact.leaves").Add(int64(st.Leaves))
+	r.Counter("core.exact.pruned_bound").Add(int64(st.BoundPruned))
+	r.Counter("core.exact.pruned_conflict").Add(int64(st.ConflictPruned))
+	r.Counter("core.exact.pruned_mem").Add(int64(st.MemPruned))
+	r.Counter("core.exact.rejected_dataflow").Add(int64(st.DataflowRejected))
+	r.Counter("core.exact.improved").Add(int64(st.Improved))
+	if st.Proven {
+		r.Counter("core.exact.proven").Inc()
+	}
+}

@@ -113,6 +113,12 @@ type Options struct {
 	// constant register file size).
 	MaxCRF int
 
+	// ExactNodeBudget bounds the exact backend's branch-and-bound search,
+	// in realized partial mappings (the unit Stats.Partials counts). Zero
+	// falls back to the CGRA_EXACT_NODE_BUDGET environment knob, then to
+	// DefaultExactNodeBudget. The heuristic backend ignores it.
+	ExactNodeBudget int
+
 	// Obs, when non-nil, receives the mapper's instrumentation: registry
 	// counters, arena gauges and per-Map/per-block timeline spans. A nil
 	// recorder keeps the hot path allocation-free (pinned by

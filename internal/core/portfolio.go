@@ -83,6 +83,37 @@ type PortfolioOptions struct {
 	// flight are abandoned, so only runs without Stop (or whose Stop
 	// never fires) are schedule-independent.
 	Stop func(*Mapping, Score) bool
+	// Backends are the mapper backends to race; nil means the heuristic
+	// alone (the historical portfolio). Seed-sensitive backends get one
+	// job per seed; Exhaustive backends (the exact search) get a single
+	// job on the first seed, since extra seeds only perturb their warm
+	// start, not their search space.
+	Backends []Backend
+}
+
+// portfolioJob is one (backend, seed) cell of the race.
+type portfolioJob struct {
+	backend Backend
+	seed    int64
+}
+
+func (o *PortfolioOptions) jobs(base int64) []portfolioJob {
+	backends := o.Backends
+	if len(backends) == 0 {
+		backends = []Backend{DefaultBackend()}
+	}
+	seeds := o.seeds(base)
+	var jobs []portfolioJob
+	for _, b := range backends {
+		if b.Capabilities().Exhaustive {
+			jobs = append(jobs, portfolioJob{backend: b, seed: seeds[0]})
+			continue
+		}
+		for _, s := range seeds {
+			jobs = append(jobs, portfolioJob{backend: b, seed: s})
+		}
+	}
+	return jobs
 }
 
 func (o *PortfolioOptions) seeds(base int64) []int64 {
@@ -103,6 +134,9 @@ func (o *PortfolioOptions) seeds(base int64) []int64 {
 // PortfolioReport records one seed's outcome for rendering and analysis.
 type PortfolioReport struct {
 	Seed int64
+	// Backend names the mapper backend the job ran ("heuristic" unless
+	// PortfolioOptions.Backends widened the race).
+	Backend string
 	// OK is true when the seed produced a mapping; Err carries the
 	// failure otherwise.
 	OK  bool
@@ -121,10 +155,13 @@ type PortfolioReport struct {
 type PortfolioResult struct {
 	// Mapping is the winner under the objective.
 	Mapping *Mapping
-	// Seed produced the winner; Score is its objective value.
-	Seed  int64
-	Score Score
-	// Reports has one entry per requested seed, in seed-list order.
+	// Seed produced the winner; Backend names the backend that ran it;
+	// Score is its objective value.
+	Seed    int64
+	Backend string
+	Score   Score
+	// Reports has one entry per (backend, seed) job, in backend-list then
+	// seed-list order.
 	Reports []PortfolioReport
 	// Wall is the whole portfolio's wall time.
 	Wall time.Duration
@@ -133,6 +170,7 @@ type PortfolioResult struct {
 // RenderReports returns the per-seed outcome table (internal/trace format).
 func (r *PortfolioResult) RenderReports() string {
 	rows := make([]trace.PortfolioRow, len(r.Reports))
+	multiBackend := false
 	for i, rep := range r.Reports {
 		rows[i] = trace.PortfolioRow{
 			Seed:   rep.Seed,
@@ -140,27 +178,46 @@ func (r *PortfolioResult) RenderReports() string {
 			Wall:   rep.Wall,
 			Winner: rep.Winner,
 		}
+		if rep.Backend != r.Reports[0].Backend {
+			multiBackend = true
+		}
 		if rep.OK {
 			rows[i].Detail = rep.Score.String()
 		} else {
 			rows[i].Detail = rep.Err
 		}
 	}
-	return trace.Portfolio(fmt.Sprintf("portfolio: %d seeds, winner seed %d (score %s)",
-		len(r.Reports), r.Seed, r.Score), rows)
+	title := fmt.Sprintf("portfolio: %d seeds, winner seed %d (score %s)",
+		len(r.Reports), r.Seed, r.Score)
+	if multiBackend {
+		// The backend column only appears (and the title only names the
+		// winner's backend) when the race actually spans backends, keeping
+		// the historical single-backend rendering stable.
+		for i, rep := range r.Reports {
+			rows[i].Backend = rep.Backend
+		}
+		title = fmt.Sprintf("portfolio: %d jobs, winner %s seed %d (score %s)",
+			len(r.Reports), r.Backend, r.Seed, r.Score)
+	}
+	return trace.Portfolio(title, rows)
 }
 
-// MapPortfolio runs Map over a portfolio of seeds concurrently and returns
-// the best mapping under the objective. The mapping flow is stochastic
-// (the pruning step samples partial mappings, §III of the paper), so
-// different seeds reach mappings of different quality; a portfolio buys
-// quality with idle cores instead of a wider beam.
+// MapPortfolio runs a portfolio of (backend, seed) jobs concurrently and
+// returns the best mapping under the objective. The heuristic flow is
+// stochastic (the pruning step samples partial mappings, §III of the
+// paper), so different seeds reach mappings of different quality; a
+// portfolio buys quality with idle cores instead of a wider beam. With
+// PortfolioOptions.Backends the seeds additionally race other backends —
+// typically the exact branch-and-bound search, which joins as a single
+// job and whose budget/ctx handling makes it a safe anytime participant
+// under the same Stop predicate and cancellation.
 //
-// The winner is deterministic for a given seed set: ties on the objective
-// break toward the lowest seed, and the selection scans the completed
-// results in seed order after all workers finish, so neither GOMAXPROCS
-// nor goroutine completion order can change the outcome (unless
-// PortfolioOptions.Stop cancels the run early — see its doc).
+// The winner is deterministic for a given job set: ties on the objective
+// break toward the lowest seed (then the earlier-listed backend), and the
+// selection scans the completed results in job order after all workers
+// finish, so neither GOMAXPROCS nor goroutine completion order can change
+// the outcome (unless PortfolioOptions.Stop cancels the run early — see
+// its doc).
 //
 // Cancelling ctx stops workers promptly: seeds not yet started are
 // skipped, and running mappers abort at their next basic-block boundary.
@@ -175,7 +232,7 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	seeds := popt.seeds(opt.Seed)
+	work := popt.jobs(opt.Seed)
 	objective := popt.Objective
 	if objective == nil {
 		objective = WordsObjective
@@ -184,12 +241,12 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(seeds) {
-		workers = len(seeds)
+	if workers > len(work) {
+		workers = len(work)
 	}
 
-	res := &PortfolioResult{Reports: make([]PortfolioReport, len(seeds))}
-	mappings := make([]*Mapping, len(seeds))
+	res := &PortfolioResult{Reports: make([]PortfolioReport, len(work))}
+	mappings := make([]*Mapping, len(work))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var stopMu sync.Mutex // serializes Stop, which may not be reentrant
@@ -197,35 +254,38 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One arena per worker: seeds running on the same worker reuse
+			// One arena per worker: jobs running on the same worker reuse
 			// its buffers, and workers never share (arenas are not
 			// concurrency-safe). The caller's arena, if any, is ignored here
 			// for the same reason.
 			ar := getArena()
 			defer putArena(ar)
 			for i := range jobs {
+				job := work[i]
 				rep := &res.Reports[i]
-				rep.Seed = seeds[i]
+				rep.Seed = job.seed
+				rep.Backend = job.backend.Name()
 				if err := ctx.Err(); err != nil {
 					rep.Err = err.Error()
 					opt.Obs.Counter("core.portfolio.seeds_skipped").Inc()
 					continue
 				}
 				seedOpt := opt
-				seedOpt.Seed = seeds[i]
+				seedOpt.Seed = job.seed
 				seedOpt.ctx = ctx
 				seedOpt.arena = ar
-				// One span per seed, on its own tid, so concurrent seeds
+				// One span per job, on its own tid, so concurrent jobs
 				// render as parallel tracks in the trace viewer.
 				var seedSpan obs.Span
 				if opt.Obs.Enabled() {
 					seedSpan = opt.Obs.StartSpan("core.portfolio.seed", "core", i)
 				}
 				t0 := time.Now()
-				m, err := Map(g, grid, seedOpt)
+				m, err := job.backend.Map(ctx, g, grid, seedOpt)
 				rep.Wall = time.Since(t0)
 				if opt.Obs.Enabled() {
-					seedSpan.End(map[string]any{"seed": seeds[i], "ok": err == nil})
+					seedSpan.End(map[string]any{
+						"seed": job.seed, "backend": rep.Backend, "ok": err == nil})
 				}
 				if err != nil {
 					rep.Err = err.Error()
@@ -247,15 +307,16 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 			}
 		}()
 	}
-	for i := range seeds {
+	for i := range work {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
 	res.Wall = time.Since(start)
 
-	// Deterministic best-pick: scan in seed order, prefer a strictly
-	// better score, and on exact ties keep the lowest seed seen first.
+	// Deterministic best-pick: scan in job order, prefer a strictly
+	// better score, and on exact ties keep the lowest seed seen first
+	// (equal seeds across backends keep the earlier-listed backend).
 	best := -1
 	for i, rep := range res.Reports {
 		if !rep.OK {
@@ -264,25 +325,26 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 		switch {
 		case best < 0,
 			rep.Score.Less(res.Reports[best].Score),
-			!res.Reports[best].Score.Less(rep.Score) && seeds[i] < seeds[best]:
+			!res.Reports[best].Score.Less(rep.Score) && work[i].seed < work[best].seed:
 			best = i
 		}
 	}
 	if best < 0 {
-		errs := make([]error, 0, len(seeds))
+		errs := make([]error, 0, len(work))
 		for i, rep := range res.Reports {
-			errs = append(errs, fmt.Errorf("seed %d: %s", seeds[i], rep.Err))
+			errs = append(errs, fmt.Errorf("%s seed %d: %s", work[i].backend.Name(), work[i].seed, rep.Err))
 		}
-		return nil, fmt.Errorf("core: portfolio of %d seeds found no mapping of %q onto %s: %w",
-			len(seeds), g.Name, grid.Name, errors.Join(errs...))
+		return nil, fmt.Errorf("core: portfolio of %d jobs found no mapping of %q onto %s: %w",
+			len(work), g.Name, grid.Name, errors.Join(errs...))
 	}
 	res.Reports[best].Winner = true
 	res.Mapping = mappings[best]
-	res.Seed = seeds[best]
+	res.Seed = work[best].seed
+	res.Backend = res.Reports[best].Backend
 	res.Score = res.Reports[best].Score
 	if opt.Obs.Enabled() {
 		opt.Obs.Emit("core.portfolio.winner", "core", best,
-			map[string]any{"seed": res.Seed, "score": res.Score.String()})
+			map[string]any{"seed": res.Seed, "backend": res.Backend, "score": res.Score.String()})
 	}
 	return res, nil
 }

@@ -88,8 +88,8 @@ func TestPortfolioAllSeedsFail(t *testing.T) {
 	if res != nil {
 		t.Errorf("failed portfolio returned a result: %+v", res)
 	}
-	// The aggregated error names every seed's failure.
-	for _, want := range []string{"seed 1:", "seed 2:", "seed 3:", "portfolio of 3 seeds"} {
+	// The aggregated error names every job's failure.
+	for _, want := range []string{"seed 1:", "seed 2:", "seed 3:", "portfolio of 3 jobs"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q misses %q", err, want)
 		}

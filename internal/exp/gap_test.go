@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestRunGapTable pins the optimality-gap experiment: one exact run per
+// cell yields both the heuristic (warm-start) and exact word counts, the
+// exact side never loses to its own warm start, and the rendered table is
+// deterministic at any parallelism. The budget is tiny and explicit — the
+// experiment's shape, not search depth, is under test.
+func TestRunGapTable(t *testing.T) {
+	const budget = 300
+	r := NewRunner()
+	r.Workers = 4
+	tab, err := r.RunGapTable(arch.HOM64, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Cells) == 0 {
+		t.Fatal("empty gap table")
+	}
+	for _, c := range tab.Cells {
+		if c.Fail != "" {
+			t.Errorf("%s/%s: %s", c.Kernel, c.Flow, c.Fail)
+			continue
+		}
+		if c.Exact < 0 {
+			t.Errorf("%s/%s: exact backend returned no mapping without failing", c.Kernel, c.Flow)
+		}
+		if c.Heuristic >= 0 && c.Exact > c.Heuristic {
+			t.Errorf("%s/%s: exact %d words worse than its heuristic warm start %d",
+				c.Kernel, c.Flow, c.Exact, c.Heuristic)
+		}
+		if g := c.Gap(); g < 0 || g > 100 {
+			t.Errorf("%s/%s: gap %.1f%% out of range", c.Kernel, c.Flow, g)
+		}
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "optimality gap on HOM64") || !strings.Contains(out, "FIR") {
+		t.Errorf("render missing expected content:\n%s", out)
+	}
+
+	serial := NewRunner()
+	serial.Workers = 1
+	tab2, err := serial.RunGapTable(arch.HOM64, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2 := tab2.Render(); out2 != out {
+		t.Errorf("gap table differs between 1 and 4 workers:\n%s\nvs\n%s", out2, out)
+	}
+}

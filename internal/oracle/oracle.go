@@ -135,6 +135,11 @@ const (
 	// static verification is still a bug — either in the mapper or in a
 	// verifier pass — so Illegal counts as one.
 	Illegal
+	// Inverted: a cross-backend check found the exact backend returning a
+	// costlier mapping than the heuristic. The exact search warm-starts
+	// from the heuristic's mapping, so an inversion is unreachable short
+	// of a backend bug and counts as one.
+	Inverted
 )
 
 func (o Outcome) String() string {
@@ -151,12 +156,16 @@ func (o Outcome) String() string {
 		return "failed"
 	case Illegal:
 		return "illegal"
+	case Inverted:
+		return "inverted"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
 
 // Bug reports whether the outcome indicates a correctness bug.
-func (o Outcome) Bug() bool { return o == Diverged || o == Failed || o == Illegal }
+func (o Outcome) Bug() bool {
+	return o == Diverged || o == Failed || o == Illegal || o == Inverted
+}
 
 // CellResult is the outcome of checking one graph in one cell.
 type CellResult struct {
@@ -186,6 +195,12 @@ type Pipeline struct {
 	// judges the genuine toolchain output, not the injected fault), so
 	// these corruptions surface dynamically as Diverged.
 	Mutate func(*asm.Program)
+	// ExactNodeBudget bounds the exact backend's search in cross-backend
+	// checks (core.Options.ExactNodeBudget); zero defers to the backend's
+	// own resolution (CGRA_EXACT_NODE_BUDGET, then the default). Sweeps
+	// set it so wall time scales with the graph count, not the default
+	// search budget.
+	ExactNodeBudget int
 }
 
 // Check maps the graph in the given cell, assembles and simulates it, and

@@ -52,7 +52,7 @@ func TestOutcomeClassification(t *testing.T) {
 		bug bool
 	}{
 		{Pass, false}, {NoMapping, false}, {Overflow, false},
-		{Diverged, true}, {Failed, true}, {Illegal, true},
+		{Diverged, true}, {Failed, true}, {Illegal, true}, {Inverted, true},
 	} {
 		if tc.o.Bug() != tc.bug {
 			t.Errorf("%s.Bug() = %v, want %v", tc.o, tc.o.Bug(), tc.bug)
@@ -312,9 +312,11 @@ func TestIllegalClassification(t *testing.T) {
 	}
 }
 
-// TestReproReplay replays every checked-in reproducer through the full
-// clean pipeline on every cell: graphs that once exposed a bug keep
-// guarding the mapper in plain `go test`.
+// TestReproReplay replays every checked-in reproducer on every cell:
+// graphs that once exposed a bug keep guarding the mapper in plain
+// `go test`. A reproducer whose metadata names a backend pair replays
+// through the cross-backend differential instead of the interpreter
+// pipeline — that is the bug it recorded.
 func TestReproReplay(t *testing.T) {
 	paths, err := ReproPaths(filepath.Join("testdata", "repro"))
 	if err != nil {
@@ -327,9 +329,24 @@ func TestReproReplay(t *testing.T) {
 	for _, path := range paths {
 		path := path
 		t.Run(filepath.Base(path), func(t *testing.T) {
-			g, mem, err := LoadRepro(path)
+			g, mem, meta, err := LoadReproMeta(path)
 			if err != nil {
-				t.Fatalf("LoadRepro: %v", err)
+				t.Fatalf("LoadReproMeta: %v", err)
+			}
+			if meta.BackendDiff() {
+				pair, err := meta.Pair()
+				if err != nil {
+					t.Fatalf("backend pair: %v", err)
+				}
+				// The replay guards the disagreement, not search depth: a
+				// bounded exact search keeps the whole-matrix replay fast.
+				bp := Pipeline{ExactNodeBudget: 3000}
+				for _, r := range bp.CheckBackendsAll(g, mem, pair, nil, 1) {
+					if r.Outcome.Bug() {
+						t.Errorf("%s: %s: %v", r.Cell, r.Outcome, r.Err)
+					}
+				}
+				return
 			}
 			for _, r := range p.CheckAll(g, mem, nil, 1) {
 				if r.Outcome.Bug() {
@@ -348,6 +365,8 @@ func TestReproParseErrors(t *testing.T) {
 		{"memval out of range", "mem 2\nmemval 7 1\n"},
 		{"memval before mem", "memval 0 1\nmem 2\n"},
 		{"garbage graph", "mem 2\nwat 1 2\n"},
+		{"backends missing subject", "backends heuristic\nmem 2\n"},
+		{"backends unknown name", "backends heuristic wat\nmem 2\n"},
 	} {
 		if _, _, err := ParseRepro([]byte(tc.data)); err == nil {
 			t.Errorf("%s: ParseRepro succeeded", tc.name)

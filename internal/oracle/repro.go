@@ -18,9 +18,32 @@ import (
 // Reproducer files pair a minimized graph with its initial memory and a
 // human-readable diagnosis. They live under testdata/ and are replayed by
 // plain `go test`, so any failure the oracle ever shrank keeps guarding
-// the mapper. Format: '#' comment lines (the diagnosis), a "mem <len>"
-// line, "memval <addr> <val>" lines for the nonzero words, then the
-// cdfg text form.
+// the mapper. Format: '#' comment lines (the diagnosis), an optional
+// "backends <ref> <sub>" line naming the backend pair of a cross-backend
+// disagreement (absent for mapper-vs-interpreter reproducers), a
+// "mem <len>" line, "memval <addr> <val>" lines for the nonzero words,
+// then the cdfg text form.
+
+// ReproMeta carries a reproducer's machine-readable directives beyond the
+// graph and memory. The zero value describes a classic
+// mapper-vs-interpreter reproducer.
+type ReproMeta struct {
+	// RefBackend/SubBackend name the backend pair of a cross-backend
+	// reproducer (the "backends" directive); both empty otherwise.
+	// TestReproReplay uses them to route the replay through CheckBackends
+	// instead of the interpreter pipeline.
+	RefBackend string
+	SubBackend string
+}
+
+// BackendDiff reports whether the reproducer records a cross-backend
+// disagreement.
+func (m ReproMeta) BackendDiff() bool { return m.RefBackend != "" }
+
+// Pair resolves the recorded backend pair.
+func (m ReproMeta) Pair() (BackendPair, error) {
+	return BackendPairByNames(m.RefBackend, m.SubBackend)
+}
 
 // FormatRepro renders a reproducer file. The failure parameter carries
 // the divergence diagnostics into the header; it may be zero-valued for
@@ -59,9 +82,16 @@ func FormatRepro(g *cdfg.Graph, mem cdfg.Memory, seed int64, failure CellResult)
 	return []byte(sb.String()), nil
 }
 
-// ParseRepro parses a reproducer: the mem directives plus the cdfg text.
+// ParseRepro parses a reproducer: the directives plus the cdfg text.
 func ParseRepro(data []byte) (*cdfg.Graph, cdfg.Memory, error) {
+	g, mem, _, err := ParseReproMeta(data)
+	return g, mem, err
+}
+
+// ParseReproMeta parses a reproducer including its metadata directives.
+func ParseReproMeta(data []byte) (*cdfg.Graph, cdfg.Memory, ReproMeta, error) {
 	var mem cdfg.Memory
+	var meta ReproMeta
 	var graphText bytes.Buffer
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -71,39 +101,98 @@ func ParseRepro(data []byte) (*cdfg.Graph, cdfg.Memory, error) {
 		switch {
 		case len(f) > 0 && f[0] == "mem":
 			if len(f) != 2 {
-				return nil, nil, fmt.Errorf("oracle: mem wants a length")
+				return nil, nil, meta, fmt.Errorf("oracle: mem wants a length")
 			}
 			n, err := strconv.Atoi(f[1])
 			if err != nil || n < 0 || n > 1<<20 {
-				return nil, nil, fmt.Errorf("oracle: bad mem length %q", f[1])
+				return nil, nil, meta, fmt.Errorf("oracle: bad mem length %q", f[1])
 			}
 			mem = make(cdfg.Memory, n)
 		case len(f) > 0 && f[0] == "memval":
 			if len(f) != 3 {
-				return nil, nil, fmt.Errorf("oracle: memval wants an address and a value")
+				return nil, nil, meta, fmt.Errorf("oracle: memval wants an address and a value")
 			}
 			a, err1 := strconv.Atoi(f[1])
 			v, err2 := strconv.ParseInt(f[2], 10, 32)
 			if err1 != nil || err2 != nil || a < 0 || a >= len(mem) {
-				return nil, nil, fmt.Errorf("oracle: bad memval %q", line)
+				return nil, nil, meta, fmt.Errorf("oracle: bad memval %q", line)
 			}
 			mem[a] = int32(v)
+		case len(f) > 0 && f[0] == "backends":
+			if len(f) != 3 {
+				return nil, nil, meta, fmt.Errorf("oracle: backends wants a reference and a subject name")
+			}
+			// Resolve eagerly so a typo fails at parse time, not when the
+			// replay silently checks the wrong pair.
+			if _, err := BackendPairByNames(f[1], f[2]); err != nil {
+				return nil, nil, meta, fmt.Errorf("oracle: bad backends directive %q: %w", line, err)
+			}
+			meta.RefBackend, meta.SubBackend = f[1], f[2]
 		default:
 			graphText.WriteString(line)
 			graphText.WriteString("\n")
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, meta, err
 	}
 	if mem == nil {
-		return nil, nil, fmt.Errorf("oracle: reproducer has no mem directive")
+		return nil, nil, meta, fmt.Errorf("oracle: reproducer has no mem directive")
 	}
 	g, err := cdfg.UnmarshalText(graphText.Bytes())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, meta, err
 	}
-	return g, mem, nil
+	return g, mem, meta, nil
+}
+
+// FormatBackendRepro renders a cross-backend reproducer: like FormatRepro
+// but with the backend pair recorded as a "backends" directive, so the
+// replay routes through CheckBackends. The failure parameter may be
+// zero-valued for hand-written cases.
+func FormatBackendRepro(g *cdfg.Graph, mem cdfg.Memory, seed int64, pair BackendPair, failure BackendDiffResult) ([]byte, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# oracle cross-backend reproducer: %s (seed %d, %s)\n", g.Name, seed, pair)
+	if failure.Outcome.Bug() {
+		fmt.Fprintf(&sb, "# cell %s outcome %s\n", failure.Cell, failure.Outcome)
+		if failure.RefWords >= 0 || failure.SubWords >= 0 {
+			fmt.Fprintf(&sb, "# words: %s %d, %s %d\n",
+				pair.Ref.Name(), failure.RefWords, pair.Sub.Name(), failure.SubWords)
+		}
+		if failure.Err != nil {
+			fmt.Fprintf(&sb, "# error: %v\n", failure.Err)
+		}
+	}
+	fmt.Fprintf(&sb, "backends %s %s\n", pair.Ref.Name(), pair.Sub.Name())
+	fmt.Fprintf(&sb, "mem %d\n", len(mem))
+	for i, v := range mem {
+		if v != 0 {
+			fmt.Fprintf(&sb, "memval %d %d\n", i, v)
+		}
+	}
+	gtxt, err := g.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	sb.Write(gtxt)
+	return []byte(sb.String()), nil
+}
+
+// WriteBackendRepro writes a cross-backend reproducer file into dir
+// (created if needed) and returns its path.
+func WriteBackendRepro(dir, name string, g *cdfg.Graph, mem cdfg.Memory, seed int64, pair BackendPair, failure BackendDiffResult) (string, error) {
+	data, err := FormatBackendRepro(g, mem, seed, pair, failure)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".repro")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // WriteRepro writes a reproducer file into dir (created if needed) and
@@ -130,6 +219,15 @@ func LoadRepro(path string) (*cdfg.Graph, cdfg.Memory, error) {
 		return nil, nil, err
 	}
 	return ParseRepro(data)
+}
+
+// LoadReproMeta reads and parses a reproducer file with its metadata.
+func LoadReproMeta(path string) (*cdfg.Graph, cdfg.Memory, ReproMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, ReproMeta{}, err
+	}
+	return ParseReproMeta(data)
 }
 
 // ReproPaths lists the .repro files under dir, sorted; a missing dir is

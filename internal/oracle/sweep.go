@@ -87,7 +87,8 @@ func (r *SweepReport) String() string {
 	for _, c := range cells {
 		m := r.ByCell[c]
 		fmt.Fprintf(&sb, "  %-14s pass %4d  no-mapping %3d  overflow %3d  bugs %d\n",
-			c, m[Pass], m[NoMapping], m[Overflow], m[Diverged]+m[Failed]+m[Illegal])
+			c, m[Pass], m[NoMapping], m[Overflow],
+			m[Diverged]+m[Failed]+m[Illegal]+m[Inverted])
 	}
 	return sb.String()
 }

@@ -114,7 +114,10 @@ func Bars(title string, width int, labels []string, values []float64) string {
 // PortfolioRow is one seed's outcome in a portfolio-mapping run.
 type PortfolioRow struct {
 	Seed int64
-	OK   bool
+	// Backend names the mapper backend the seed ran under; empty rows
+	// (a pure-heuristic portfolio) render without the backend column.
+	Backend string
+	OK      bool
 	// Detail is the score of a successful seed or the failure reason.
 	Detail string
 	Wall   time.Duration
@@ -122,9 +125,21 @@ type PortfolioRow struct {
 	Winner bool
 }
 
-// Portfolio renders the per-seed outcomes of a portfolio-mapping run.
+// Portfolio renders the per-seed outcomes of a portfolio-mapping run. The
+// backend column appears only when some row names one.
 func Portfolio(title string, rows []PortfolioRow) string {
-	t := NewTable(title, "seed", "result", "score", "wall", "")
+	backends := false
+	for _, r := range rows {
+		if r.Backend != "" {
+			backends = true
+			break
+		}
+	}
+	header := []string{"seed", "result", "score", "wall", ""}
+	if backends {
+		header = append([]string{"backend"}, header...)
+	}
+	t := NewTable(title, header...)
 	for _, r := range rows {
 		result, score, mark := "ok", r.Detail, ""
 		if !r.OK {
@@ -133,7 +148,11 @@ func Portfolio(title string, rows []PortfolioRow) string {
 		if r.Winner {
 			mark = "<- winner"
 		}
-		t.Add(r.Seed, result, score, r.Wall.Round(time.Millisecond), mark)
+		cells := []any{r.Seed, result, score, r.Wall.Round(time.Millisecond), mark}
+		if backends {
+			cells = append([]any{r.Backend}, cells...)
+		}
+		t.Add(cells...)
 	}
 	return t.String()
 }

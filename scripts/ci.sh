@@ -39,6 +39,17 @@ ORACLE_SWEEP_N=$sweep_n ORACLE_METRICS="$oracle_metrics" \
 echo "== oracle sweep metrics (cgrametrics)"
 go run ./cmd/cgrametrics "$oracle_metrics"
 
+# Bounded cross-backend smoke: diff the exact branch-and-bound backend
+# against the heuristic on a few generated graphs across every mode × CM
+# config. Any disagreement (illegal mapping from either side, or a cost
+# inversion) fails fast. The node budget keeps the exact search cheap;
+# the full suite's TestBackendDiffSweepClean runs the wider sweep.
+diff_n=6
+if [ -n "$short" ]; then diff_n=3; fi
+echo "== cross-backend diff smoke (ORACLE_BACKEND_DIFF_N=$diff_n)"
+ORACLE_BACKEND_DIFF_N=$diff_n CGRA_EXACT_NODE_BUDGET=1500 \
+    go test -run TestBackendDiffSweepClean ./internal/oracle
+
 echo "== go test $short ./..."
 go test $short ./...
 
