@@ -8,6 +8,7 @@
 //	cgrabench -table 2    # Table II
 //	cgrabench -gap 5000   # heuristic-vs-exact optimality gap at that node budget
 //	cgrabench -parallel 4 # bound the evaluation worker pool
+//	cgrabench -batch 16   # simulate cells through the batched engine
 //
 // Cells fan out across a worker pool (default: one worker per CPU); the
 // rendered tables are byte-identical at any parallelism.
@@ -37,6 +38,7 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one table (2); 0 = all")
 	gap := flag.Int("gap", 0, "render the heuristic-vs-exact optimality gap table at this exact node budget instead of the evaluation; 0 = off")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "evaluation worker pool size (1 = serial)")
+	batch := flag.Int("batch", 1, "simulate each cell with this many identical input lanes through the batched engine (1 = scalar verified run)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
@@ -54,6 +56,7 @@ func main() {
 	defer stopProf()
 	r := exp.NewRunner()
 	r.Workers = *parallel
+	r.Batch = *batch
 	r.Obs = fr.Recorder
 	err = run(os.Stdout, r, *fig, *table, *gap)
 	if err == nil && fr.Recorder.Enabled() {

@@ -9,7 +9,12 @@
 //
 // Usage:
 //
-//	cgrasim -kernel FFT -config HET1 -flow cab [-cpu] [-seeds 8] [-parallel 4]
+//	cgrasim -kernel FFT -config HET1 -flow cab [-cpu] [-seeds 8] [-parallel 4] [-batch 64]
+//
+// With -batch B > 1 the winner is additionally executed through the
+// batched struct-of-arrays engine with B identical input lanes; every
+// lane is cross-checked against the verified run and the per-input
+// throughput is reported.
 package main
 
 import (
@@ -19,10 +24,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/asm"
+	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/kernels"
@@ -44,6 +52,10 @@ type cliOptions struct {
 	seed     int64
 	seeds    int
 	parallel int
+	// batch > 1 re-runs the kernel through the batched engine with that
+	// many identical input lanes after the verified run, cross-checks every
+	// lane against it, and reports per-input throughput.
+	batch int
 	// rec threads the -metrics/-events recorder into the mapper and the
 	// simulator; nil (the zero value the tests use) disables it.
 	rec *obs.Recorder
@@ -61,6 +73,7 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
 	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
 	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
+	flag.IntVar(&o.batch, "batch", 1, "also run N identical input lanes through the batched engine and report per-input throughput")
 	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
 	events := flag.String("events", "", "write a Chrome trace_event timeline to this file")
 	flag.Parse()
@@ -178,6 +191,29 @@ func run(w io.Writer, o cliOptions) error {
 		res.Cycles, res.StallCycles, res.ConfigWords, m.Stats.CompileTime.Round(1_000_000))
 	fmt.Fprintf(w, "energy %.4f µJ (config %.4f, fetch %.4f, compute %.4f, memory %.4f, leak %.4f)\n",
 		e.Total(), e.Config, e.Fetch, e.Compute, e.Memory, e.Leak)
+	if o.batch > 1 {
+		lanes := make([]cdfg.Memory, o.batch)
+		for l := range lanes {
+			lanes[l] = k.Init()
+		}
+		start := time.Now()
+		bres, err := s.Engine().RunBatch(lanes)
+		elapsed := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("batch run (B=%d): %w", o.batch, err)
+		}
+		for l := range lanes {
+			if !reflect.DeepEqual(bres[l], res) {
+				return fmt.Errorf("batch lane %d diverges from the verified run", l)
+			}
+			if err := k.Check(lanes[l]); err != nil {
+				return fmt.Errorf("batch lane %d golden check failed: %w", l, err)
+			}
+		}
+		fmt.Fprintf(w, "batch B=%d: all lanes verified identical, %s/input (%s total)\n",
+			o.batch, (elapsed / time.Duration(o.batch)).Round(time.Microsecond),
+			elapsed.Round(time.Microsecond))
+	}
 	if o.withCPU {
 		cmem := k.Init()
 		cres, err := cpu.Run(g, cmem, cpu.DefaultCosts())

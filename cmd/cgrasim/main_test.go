@@ -26,6 +26,23 @@ func TestRunFIRSmoke(t *testing.T) {
 	}
 }
 
+// TestRunBatchSmoke drives the -batch knob: the batched engine re-runs
+// the kernel with identical lanes, every lane cross-checks against the
+// verified result, and the throughput line lands in the output.
+func TestRunBatchSmoke(t *testing.T) {
+	var sb strings.Builder
+	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, seeds: 1, batch: 4}
+	if err := run(&sb, o); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"verified OK", "batch B=4", "all lanes verified identical", "/input"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output misses %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunPortfolioWithCPUBaseline(t *testing.T) {
 	var sb strings.Builder
 	o := cliOptions{kernel: "FIR", config: "HOM32", flow: "cab", seed: 1, seeds: 3, parallel: 2, withCPU: true}

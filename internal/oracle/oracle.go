@@ -14,6 +14,7 @@ package oracle
 import (
 	"errors"
 	"fmt"
+	"reflect"
 
 	"repro/internal/arch"
 	"repro/internal/asm"
@@ -140,6 +141,11 @@ const (
 	// from the heuristic's mapping, so an inversion is unreachable short
 	// of a backend bug and counts as one.
 	Inverted
+	// BatchDiverged: the batched struct-of-arrays engine (sim.Engine)
+	// disagreed with the scalar interpreter on duplicated lanes of a run
+	// that verified clean — results, counters, and final memories must be
+	// bit-identical, so any difference is an engine bug.
+	BatchDiverged
 )
 
 func (o Outcome) String() string {
@@ -158,13 +164,15 @@ func (o Outcome) String() string {
 		return "illegal"
 	case Inverted:
 		return "inverted"
+	case BatchDiverged:
+		return "batch-diverged"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
 
 // Bug reports whether the outcome indicates a correctness bug.
 func (o Outcome) Bug() bool {
-	return o == Diverged || o == Failed || o == Illegal || o == Inverted
+	return o == Diverged || o == Failed || o == Illegal || o == Inverted || o == BatchDiverged
 }
 
 // CellResult is the outcome of checking one graph in one cell.
@@ -201,7 +209,24 @@ type Pipeline struct {
 	// set it so wall time scales with the graph count, not the default
 	// search budget.
 	ExactNodeBudget int
+	// BatchLanes sets the lane count of the batched-engine differential
+	// that runs after a clean verification: the scalar interpreter's
+	// result on the cell's input is compared bit-for-bit against every
+	// lane of a sim.Engine RunBatch over duplicated inputs. Zero means
+	// defaultBatchLanes; negative disables the batch check.
+	BatchLanes int
+	// MutateBatch, when non-nil, corrupts the batched engine's lane
+	// inputs after the scalar reference is taken — a deliberate
+	// engine-side fault, so the injected difference surfaces as
+	// BatchDiverged (the fault-injection tests prove the classification
+	// and shrinking work).
+	MutateBatch func(lanes []cdfg.Memory)
 }
+
+// defaultBatchLanes is the width of the batch differential every check
+// runs: two duplicated lanes exercise the batch dimension without
+// dominating the cell's cost.
+const defaultBatchLanes = 2
 
 // Check maps the graph in the given cell, assembles and simulates it, and
 // compares the final data memory against the reference interpreter.
@@ -248,7 +273,7 @@ func (p *Pipeline) check(g *cdfg.Graph, mem cdfg.Memory, cell Cell, seed int64) 
 	if p.Mutate != nil {
 		p.Mutate(prog)
 	}
-	s, err := sim.New(prog)
+	s, err := sim.New(prog, sim.WithObs(p.Obs))
 	if err != nil {
 		r.Outcome, r.Err = Failed, fmt.Errorf("oracle: sim: %w", err)
 		return r
@@ -266,8 +291,53 @@ func (p *Pipeline) check(g *cdfg.Graph, mem cdfg.Memory, cell Cell, seed int64) 
 		}
 		return r
 	}
+	if outcome, err := p.checkBatch(s, mem); err != nil {
+		r.Outcome, r.Err = outcome, err
+		return r
+	}
 	r.Outcome = Pass
 	return r
+}
+
+// checkBatch is the batched-engine differential a clean verification is
+// followed by: the scalar interpreter's result on the cell's input must
+// be reproduced bit-for-bit — Result, activity counters, final memory —
+// by every lane of a RunBatch over duplicated inputs. Any difference is
+// BatchDiverged; a scalar failure after a clean verified run is Failed
+// (the two paths just executed the same program).
+func (p *Pipeline) checkBatch(s *sim.Sim, mem cdfg.Memory) (Outcome, error) {
+	lanes := p.BatchLanes
+	if lanes == 0 {
+		lanes = defaultBatchLanes
+	}
+	if lanes < 1 {
+		return Pass, nil
+	}
+	refMem := mem.Clone()
+	refRes, err := s.RunScalar(refMem)
+	if err != nil {
+		return Failed, fmt.Errorf("oracle: scalar reference run: %w", err)
+	}
+	bmems := make([]cdfg.Memory, lanes)
+	for l := range bmems {
+		bmems[l] = mem.Clone()
+	}
+	if p.MutateBatch != nil {
+		p.MutateBatch(bmems)
+	}
+	bres, err := s.Engine().RunBatch(bmems)
+	if err != nil {
+		return BatchDiverged, fmt.Errorf("oracle: batch engine failed where the scalar run passed: %w", err)
+	}
+	for l := 0; l < lanes; l++ {
+		if !reflect.DeepEqual(bres[l], refRes) {
+			return BatchDiverged, fmt.Errorf("oracle: batch lane %d/%d result diverged from the scalar interpreter", l, lanes)
+		}
+		if !reflect.DeepEqual(bmems[l], refMem) {
+			return BatchDiverged, fmt.Errorf("oracle: batch lane %d/%d final memory diverged from the scalar interpreter", l, lanes)
+		}
+	}
+	return Pass, nil
 }
 
 // CheckAll runs Check over the given cells (AllCells when nil) and

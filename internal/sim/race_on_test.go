@@ -1,0 +1,8 @@
+//go:build race
+
+package sim_test
+
+// raceEnabled trims the batch differential matrix under the race
+// detector, whose 4-5x slowdown would otherwise dominate the CI race
+// pass.
+const raceEnabled = true

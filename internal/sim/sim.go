@@ -10,7 +10,9 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/asm"
@@ -128,6 +130,9 @@ type Sim struct {
 	// expanded[bb][tile] is the per-cycle instruction grid (nil = idle),
 	// decoded once from the segments.
 	expanded [][][]*isa.Instr
+	// low is the pre-decoded struct-of-arrays form the batched engine
+	// executes (see engine.go), built once per program next to expanded.
+	low *lowered
 	// maxMismatches caps the divergent words a RunVerified failure records.
 	maxMismatches int
 	// obs, when non-nil, receives run counters and the cycle-domain block
@@ -162,12 +167,16 @@ func WithObs(r *obs.Recorder) Option {
 // blockEventCap bounds the block-execution timeline events one Run emits.
 const blockEventCap = 4096
 
-// decodedContexts is the program's per-cycle instruction grid, published
-// on the program's memo slot so repeated simulator instances of the same
-// program (oracle sweeps, verification reruns, experiment workers) decode
-// the context words once. The grids are never mutated after decode.
+// decodedContexts is the program's derived execution form, published on
+// the program's memo slot so repeated simulator instances of the same
+// program (oracle sweeps, verification reruns, experiment workers)
+// decode the context words once: the per-cycle instruction grid the
+// scalar interpreter walks, and the lowered struct-of-arrays tables the
+// batched engine executes (see engine.go). Neither is mutated after
+// decode.
 type decodedContexts struct {
 	expanded [][][]*isa.Instr
+	low      *lowered
 }
 
 // New prepares a simulator for the program.
@@ -178,8 +187,10 @@ func New(p *asm.Program, opts ...Option) (*Sim, error) {
 	}
 	if d, ok := p.Memo().(*decodedContexts); ok {
 		s.expanded = d.expanded
+		s.low = d.low
 		return s, nil
 	}
+	start := time.Now()
 	nb := len(p.Graph.Blocks)
 	s.expanded = make([][][]*isa.Instr, nb)
 	for bb := 0; bb < nb; bb++ {
@@ -192,7 +203,11 @@ func New(p *asm.Program, opts ...Option) (*Sim, error) {
 			s.expanded[bb][t] = grid
 		}
 	}
-	p.SetMemo(&decodedContexts{expanded: s.expanded})
+	s.low = lower(p, s.expanded)
+	p.SetMemo(&decodedContexts{expanded: s.expanded, low: s.low})
+	if s.obs.Enabled() {
+		s.obs.Counter("sim.engine.predecode_ns").Add(time.Since(start).Nanoseconds())
+	}
 	return s, nil
 }
 
@@ -215,8 +230,33 @@ func expand(seg *asm.Segment, blockLen int) ([]*isa.Instr, error) {
 	return grid, nil
 }
 
-// Run executes the program against the memory (modified in place).
+// Run executes the program against the memory (modified in place). It
+// is the batch-of-one form of Engine.RunBatch; the two paths (and the
+// reference interpreter, see RunScalar) are bit-identical in results,
+// counters, and errors.
 func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
+	results, err := (&Engine{s: s}).RunBatch([]cdfg.Memory{mem})
+	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) {
+			return results[0], be.Errs[0]
+		}
+		return results[0], err
+	}
+	return results[0], nil
+}
+
+// RunScalar executes the program with the reference tile-major
+// interpreter: one input set, context words re-decoded as they execute.
+// It is the differential baseline the batched engine is tested against
+// (and the fallback that reproduces exact scalar error behavior for
+// faulting engine lanes); production callers should prefer Run.
+func (s *Sim) RunScalar(mem cdfg.Memory) (*Result, error) { return s.runScalar(mem, 0) }
+
+// runScalar is RunScalar with an explicit lane id for the block
+// timeline's TID, so fallback re-runs of batch lanes land on their
+// lane's track.
+func (s *Sim) runScalar(mem cdfg.Memory, tid int) (*Result, error) {
 	p := s.prog
 	n := p.Grid.NumTiles()
 	res := &Result{
@@ -370,7 +410,7 @@ func (s *Sim) Run(mem cdfg.Memory) (*Result, error) {
 				s.obs.EmitEvent(obs.Event{
 					Name: b.Name, Cat: "sim.block", Ph: obs.PhaseComplete,
 					TS: float64(blockStart), Dur: float64(res.Cycles - blockStart),
-					PID: obs.PIDSim, TID: 0,
+					PID: obs.PIDSim, TID: tid,
 				})
 			} else {
 				blockEventsDropped++

@@ -2,10 +2,12 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/asm"
+	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/obs"
@@ -75,15 +77,7 @@ func BenchmarkCoreMapPortfolio(b *testing.B) {
 func BenchmarkSimRun(b *testing.B) {
 	for _, k := range kernels.All() {
 		k := k
-		g := k.Build()
-		m, err := core.Map(g, perfGrid(), core.DefaultOptions(core.FlowCAB))
-		if err != nil {
-			b.Fatalf("%s: map: %v", k.Name, err)
-		}
-		prog, err := asm.Assemble(m)
-		if err != nil {
-			b.Fatalf("%s: assemble: %v", k.Name, err)
-		}
+		prog := benchProgram(b, k)
 		b.Run(k.Name, func(b *testing.B) {
 			b.ReportAllocs()
 			warm(b, func() error {
@@ -104,6 +98,82 @@ func BenchmarkSimRun(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// benchProgram maps and assembles one kernel for the simulator
+// benchmarks, failing the benchmark on any pipeline error.
+func benchProgram(b *testing.B, k kernels.Kernel) *asm.Program {
+	b.Helper()
+	m, err := core.Map(k.Build(), perfGrid(), core.DefaultOptions(core.FlowCAB))
+	if err != nil {
+		b.Fatalf("%s: map: %v", k.Name, err)
+	}
+	prog, err := asm.Assemble(m)
+	if err != nil {
+		b.Fatalf("%s: assemble: %v", k.Name, err)
+	}
+	return prog
+}
+
+// BenchmarkSimRunScalar pins the tile-major reference interpreter.
+// sim.Run is the batched engine at B=1 since the engine became the
+// production path, so this — not BenchmarkSimRun — is the honest scalar
+// baseline the engine's throughput is quoted against.
+func BenchmarkSimRunScalar(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		prog := benchProgram(b, k)
+		b.Run(k.Name, func(b *testing.B) {
+			s, err := sim.New(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			warm(b, func() error { _, err := s.RunScalar(k.Init()); return err })
+			for i := 0; i < b.N; i++ {
+				if _, err := s.RunScalar(k.Init()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimRunBatch measures the batched engine's amortization: one
+// op is one RunBatch over B independent input lanes of a bitstream
+// pre-lowered once outside the loop, so ns/op ÷ B is the per-input
+// cost. scripts/ci.sh gates the checked-in baseline: at B=64 the
+// per-input cost must be ≤ 0.5× BenchmarkSimRun on at least one kernel.
+func BenchmarkSimRunBatch(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		prog := benchProgram(b, k)
+		s, err := sim.New(prog)
+		if err != nil {
+			b.Fatalf("%s: sim: %v", k.Name, err)
+		}
+		e := s.Engine()
+		for _, lanes := range []int{1, 16, 64} {
+			lanes := lanes
+			b.Run(fmt.Sprintf("%s/B%d", k.Name, lanes), func(b *testing.B) {
+				op := func() error {
+					mems := make([]cdfg.Memory, lanes)
+					for l := range mems {
+						mems[l] = k.Init()
+					}
+					_, err := e.RunBatch(mems)
+					return err
+				}
+				b.ReportAllocs()
+				warm(b, op)
+				for i := 0; i < b.N; i++ {
+					if err := op(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

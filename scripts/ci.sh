@@ -78,4 +78,43 @@ BENCH_ALLOCS_TOLERANCE_PCT=${BENCH_ALLOCS_TOLERANCE_PCT:-250} \
 BENCH_OBSOFF_ALLOCS_TOLERANCE_PCT=${BENCH_OBSOFF_ALLOCS_TOLERANCE_PCT:-250} \
     scripts/bench.sh -compare -benchtime=1x
 
+# Batch-engine throughput gate: the pre-decoded SoA engine only earns
+# its complexity if batching amortizes. Checked against the recorded
+# baseline (stable steady-state numbers, not the noisy 1x run above):
+# at B=64 the per-input cost must be at most half the one-off sim.Run
+# cost on at least one kernel.
+echo "== batch throughput gate (BENCH_core.json)"
+awk '
+function field(line, key,   v) {
+    v = line
+    if (!sub(".*\"" key "\": *", "", v)) return ""
+    sub(/[,}].*/, "", v)
+    return v
+}
+/"name"/ {
+    name = field($0, "name")
+    gsub(/^"|"$/, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns[name] = field($0, "ns_per_op")
+}
+END {
+    ok = 0; checked = 0
+    for (n in ns) {
+        if (n !~ /^BenchmarkSimRunBatch\/.*\/B64$/) continue
+        kern = n
+        sub(/^BenchmarkSimRunBatch\//, "", kern)
+        sub(/\/B64$/, "", kern)
+        scalar = ns["BenchmarkSimRun/" kern]
+        if (scalar == "" || scalar + 0 == 0) continue
+        checked++
+        per = ns[n] / 64.0
+        printf "  %-12s B64 %10.0f ns/input vs sim.Run %10.0f ns  (%.1fx)\n", \
+            kern, per, scalar, scalar / per
+        if (per <= 0.5 * scalar) ok++
+    }
+    if (checked == 0) { print "batch gate: no SimRunBatch/B64 entries in BENCH_core.json"; exit 1 }
+    if (ok == 0) { print "batch gate: no kernel reaches 2x per-input amortization at B=64"; exit 1 }
+    printf "batch gate OK: %d/%d kernels at or past 2x per-input amortization\n", ok, checked
+}' BENCH_core.json
+
 echo "CI OK"
