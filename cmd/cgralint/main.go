@@ -7,14 +7,19 @@
 //
 // Usage:
 //
-//	cgralint [dir]
+//	cgralint [-json] [dir]
 //
 // dir (default ".") may be anywhere inside the module; the module root
 // is located by walking up to go.mod. A trailing "..." is accepted and
 // ignored — the whole module is always analyzed.
+//
+// -json prints the findings as one JSON object — {"findings": [...],
+// "count": N} with path/line/col/rule/msg per finding — for CI
+// artifacts and editor integrations; exit codes are unchanged.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,9 +33,10 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cgralint [dir]\n")
+		fmt.Fprintf(os.Stderr, "usage: cgralint [-json] [dir]\n")
 		flag.PrintDefaults()
 	}
+	asJSON := flag.Bool("json", false, "print findings as JSON instead of one line per finding")
 	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
 	events := flag.String("events", "", "write a Chrome trace_event timeline to this file")
 	flag.Parse()
@@ -39,7 +45,7 @@ func main() {
 		dir = flag.Arg(0)
 	}
 	fr := obs.FileOutputs(*metrics, *events)
-	n, err := run(os.Stdout, dir, fr.Recorder)
+	n, err := run(os.Stdout, dir, *asJSON, fr.Recorder)
 	if ferr := fr.Flush(); ferr != nil && err == nil {
 		err = ferr
 	}
@@ -52,10 +58,25 @@ func main() {
 	}
 }
 
+// jsonFinding is the machine-readable shape of one finding.
+type jsonFinding struct {
+	Path string `json:"path"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Findings []jsonFinding `json:"findings"`
+	Count    int           `json:"count"`
+}
+
 // run analyzes the module containing dir and prints findings; it
 // returns the finding count. A live recorder gets one analyze span,
 // a total finding counter and one counter per offending rule.
-func run(w io.Writer, dir string, rec *obs.Recorder) (int, error) {
+func run(w io.Writer, dir string, asJSON bool, rec *obs.Recorder) (int, error) {
 	dir = strings.TrimSuffix(dir, "...")
 	if dir == "" {
 		dir = "."
@@ -71,10 +92,27 @@ func run(w io.Writer, dir string, rec *obs.Recorder) (int, error) {
 		return 0, err
 	}
 	for _, f := range findings {
-		fmt.Fprintln(w, f)
 		rec.Counter("lint.rule." + f.Rule).Inc()
 	}
 	rec.Counter("lint.findings").Add(int64(len(findings)))
+	if asJSON {
+		rep := jsonReport{Findings: make([]jsonFinding, 0, len(findings)), Count: len(findings)}
+		for _, f := range findings {
+			rep.Findings = append(rep.Findings, jsonFinding{
+				Path: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Rule: f.Rule, Msg: f.Msg,
+			})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 0, err
+		}
+		return len(findings), nil
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
 	return len(findings), nil
 }
 

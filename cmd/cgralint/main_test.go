@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 // findings, exit-clean.
 func TestRunOnThisModule(t *testing.T) {
 	var sb strings.Builder
-	n, err := run(&sb, "./...", nil)
+	n, err := run(&sb, "./...", false, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -43,7 +44,7 @@ func main() {
 }
 `)
 	var sb strings.Builder
-	n, err := run(&sb, dir, nil)
+	n, err := run(&sb, dir, false, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -53,6 +54,29 @@ func main() {
 	line := strings.TrimSpace(sb.String())
 	if !strings.Contains(line, "main.go:8:3: maprange:") {
 		t.Errorf("finding format: %q", line)
+	}
+
+	// The same module through -json: a parseable document with the same
+	// finding, and a count CI can gate on without scraping text.
+	sb.Reset()
+	n, err = run(&sb, dir, true, nil)
+	if err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("-json: want 1 finding, got %d:\n%s", n, sb.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, sb.String())
+	}
+	if rep.Count != 1 || len(rep.Findings) != 1 {
+		t.Fatalf("-json document shape: %+v", rep)
+	}
+	f := rep.Findings[0]
+	if f.Rule != "maprange" || f.Line != 8 || f.Col != 3 ||
+		!strings.HasSuffix(f.Path, "main.go") || f.Msg == "" {
+		t.Errorf("-json finding: %+v", f)
 	}
 }
 

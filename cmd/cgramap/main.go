@@ -33,6 +33,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/prof"
+	"repro/internal/static"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -46,6 +47,8 @@ type cliOptions struct {
 	listing  bool
 	dot      bool
 	verify   bool
+	analyze  bool
+	strip    bool
 	seed     int64
 	seeds    int
 	parallel int
@@ -64,6 +67,8 @@ func main() {
 	flag.BoolVar(&o.listing, "listing", false, "print the per-tile context disassembly")
 	flag.BoolVar(&o.dot, "dot", false, "print the kernel CDFG in Graphviz DOT form and exit")
 	flag.BoolVar(&o.verify, "verify", false, "assemble and statically verify the mapping, reporting per-pass verdicts")
+	flag.BoolVar(&o.analyze, "analyze", false, "run the static bitstream analyzer and report reachability, dead context and energy bounds")
+	flag.BoolVar(&o.strip, "strip", false, "run dead-context elimination, report the words saved, and re-verify the stripped bitstream")
 	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
 	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
 	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
@@ -201,7 +206,7 @@ func run(w io.Writer, o cliOptions) error {
 		fmt.Fprintf(w, "symbol %-8s -> tile %d r%d\n", s, h.Tile+1, h.Reg)
 	}
 	var prog *asm.Program
-	if o.listing || o.verify {
+	if o.listing || o.verify || o.analyze || o.strip {
 		if prog, err = asm.Assemble(m); err != nil {
 			return err
 		}
@@ -214,6 +219,27 @@ func run(w io.Writer, o cliOptions) error {
 		fmt.Fprintf(w, "static verification (%d passes):\n%s", len(vres.Ran), vres.Report())
 		if err := vres.Err(); err != nil {
 			return err
+		}
+	}
+	if o.analyze || o.strip {
+		a, err := static.Analyze(prog, static.WithObs(o.rec))
+		if err != nil {
+			return err
+		}
+		if o.analyze {
+			fmt.Fprint(w, a.Report())
+		}
+		if o.strip {
+			stripped, rep, err := static.Strip(prog, a, static.WithObs(o.rec))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, rep)
+			vres := verify.CheckProgram(stripped)
+			fmt.Fprintf(w, "stripped bitstream re-verification:\n%s", vres.Report())
+			if err := vres.Err(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -29,6 +29,36 @@ func TestRunnerCellAndCache(t *testing.T) {
 	}
 }
 
+// TestCellDeadContextStats pins the dead-context accounting on every
+// evaluated cell: the word counts are consistent, and the DCFilter —
+// which ships a configuration-dead seed arm — shows a nonzero reduction
+// that the rendered table reports.
+func TestCellDeadContextStats(t *testing.T) {
+	r := NewRunner()
+	c := r.Run("DCFilter", core.FlowCAB, arch.HET1)
+	if !c.OK {
+		t.Fatalf("DCFilter cab/HET1 failed: %s", c.Fail)
+	}
+	if c.StrippedWords+c.DeadWords != c.TotalWords {
+		t.Fatalf("words do not add up: %d stripped + %d dead != %d total",
+			c.StrippedWords, c.DeadWords, c.TotalWords)
+	}
+	if c.DeadWords == 0 {
+		t.Fatal("DCFilter's configuration-dead seed arm was not stripped")
+	}
+
+	dc := &DeadContext{Kernels: []string{"DCFilter"}, Cells: [][3]*Cell{{c, c, nil}}}
+	out := dc.Render()
+	for _, want := range []string{"DCFilter", "dead-context elimination reclaims", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render misses %q:\n%s", want, out)
+		}
+	}
+	if saved, words := dc.TotalSaved(); saved != 2*c.DeadWords || words != 2*c.TotalWords {
+		t.Errorf("TotalSaved = %d/%d, want %d/%d", saved, words, 2*c.DeadWords, 2*c.TotalWords)
+	}
+}
+
 // TestRunnerBatchMatchesScalar pins the Batch knob's contract: the same
 // cell evaluated through the batched engine carries exactly the scalar
 // run's metrics, so every figure and table is batch-width invariant.

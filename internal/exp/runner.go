@@ -21,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/static"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,12 @@ type Cell struct {
 	Pnops       int
 	Energy      power.EnergyBreakdown
 	MapStats    core.Stats
+	// DeadWords is the context-word reduction dead-context elimination
+	// (internal/static) achieves on the assembled bitstream;
+	// StrippedWords is the word count after the rewrite, so
+	// TotalWords = StrippedWords + DeadWords.
+	DeadWords     int
+	StrippedWords int
 }
 
 // CPUCell is a kernel's baseline execution.
@@ -237,6 +244,22 @@ func (r *Runner) evaluate(kernel string, flow core.Flow, config arch.ConfigName,
 	if err != nil {
 		c.Fail = err.Error()
 		return c
+	}
+	// Dead-context elimination statistics: how many of the mapping's
+	// context words the static analyzer proves removable. The rewrite is
+	// not loaded — the cell's timing and energy report the bitstream the
+	// mapper produced — but the reduction is part of the evaluation.
+	a, err := static.Analyze(prog, static.WithObs(r.Obs))
+	if err != nil {
+		c.Fail = fmt.Sprintf("static analysis: %v", err)
+		return c
+	}
+	if _, rep, err := static.Strip(prog, a, static.WithObs(r.Obs)); err != nil {
+		c.Fail = fmt.Sprintf("dead-context elimination: %v", err)
+		return c
+	} else {
+		c.DeadWords = rep.WordsSaved()
+		c.StrippedWords = rep.WordsAfter
 	}
 	s, err := sim.New(prog, sim.WithObs(r.Obs))
 	if err != nil {

@@ -9,9 +9,18 @@ import "repro/internal/cdfg"
 // over 64 samples with alpha = 0.95 in Q8. The recurrence is carried in
 // two symbol variables (no history loads), so the loop body is small and
 // serial — the low-ILP end of the suite.
+//
+// The filter also carries the frontend shape real DSP code has: an
+// optional state-seeding arm gated on the configured start bias
+// (`if (bias) { seed the recurrence }`). The frontend keeps both arms —
+// bias is a deployment parameter — and this deployment pins it to 0, so
+// the arm is dead in the shipped bitstream. Only a bitstream-level
+// analysis can prove that and reclaim the arm's context words, which is
+// exactly what internal/static's dead-context elimination does.
 const (
 	dcN     = 64
 	dcAlpha = 243 // 0.95 in Q8
+	dcBias  = 0   // recurrence start bias; 0 disables the seed arm
 	dcXAt   = 0
 	dcYAt   = dcXAt + dcN
 	dcEnd   = dcYAt + dcN
@@ -47,7 +56,16 @@ func DCFilter() Kernel {
 			entry.SetSym("n", zero)
 			entry.SetSym("xprev", zero)
 			entry.SetSym("yprev", zero)
-			entry.Jump("loop")
+			entry.BranchIf(entry.Const(dcBias), "seed", "loop")
+
+			// Bias-seed arm: primes the IIR state with the configured
+			// bias. Never taken while dcBias == 0, but mapped and loaded
+			// into context memory all the same — the dead-context case.
+			seed := b.Block("seed")
+			bias := seed.Const(dcBias)
+			seed.SetSym("yprev", bias)
+			seed.SetSym("xprev", seed.Sra(bias, seed.Const(1)))
+			seed.Jump("loop")
 
 			loop := b.Block("loop")
 			n := loop.Sym("n")

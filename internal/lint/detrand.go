@@ -5,17 +5,24 @@ import (
 	"strings"
 )
 
-// detrandRule guards the mapper's reproducibility promise: internal/core
-// must derive every random choice from the caller's seed (the paper's
-// stochastic pruning is re-runnable by seed) and must not branch on the
-// wall clock. The global math/rand functions and bare time.Now reads are
-// flagged; rand.New(rand.NewSource(seed)) and time.Now used purely for
-// time.Since durations (the CompileTime stat) are fine.
+// detrandRule guards the reproducibility promise of the mapper and the
+// simulator: internal/core and internal/sim must derive every random
+// choice from the caller's seed (the paper's stochastic pruning is
+// re-runnable by seed) and must not branch on the wall clock. The
+// global math/rand functions and bare time.Now reads are flagged;
+// rand.New(rand.NewSource(seed)) and time.Now used purely for
+// time.Since durations (the CompileTime stat) are fine. Inside
+// internal/sim, os.Getenv is additionally flagged — cycle counts must
+// be a function of the bitstream and the memory image, never of the
+// process environment. internal/core keeps its environment exemption:
+// the exact backend reads its node-budget escape hatch from the
+// environment on purpose.
 var detrandRule = &Rule{
 	Name: "detrand",
-	Doc:  "nondeterminism source inside the deterministic mapper",
+	Doc:  "nondeterminism source inside the deterministic mapper or simulator",
 	Applies: func(pkgPath string) bool {
-		return strings.HasSuffix(pkgPath, "internal/core")
+		return strings.HasSuffix(pkgPath, "internal/core") ||
+			strings.HasSuffix(pkgPath, "internal/sim")
 	},
 	Check: checkDetrand,
 }
@@ -29,6 +36,11 @@ var seededRandCtors = map[string]bool{
 }
 
 func checkDetrand(p *Package) []Finding {
+	where := "mapper"
+	inSim := strings.HasSuffix(p.Path, "internal/sim")
+	if inSim {
+		where = "simulator"
+	}
 	var out []Finding
 	for _, f := range p.Files {
 		parents := parentMap(f)
@@ -51,7 +63,7 @@ func checkDetrand(p *Package) []Finding {
 					out = append(out, Finding{
 						Pos:  p.Fset.Position(call.Pos()),
 						Rule: "detrand",
-						Msg: "global math/rand source in the deterministic mapper; " +
+						Msg: "global math/rand source in the deterministic " + where + "; " +
 							"draw from rand.New(rand.NewSource(seed))",
 					})
 				}
@@ -60,8 +72,19 @@ func checkDetrand(p *Package) []Finding {
 					out = append(out, Finding{
 						Pos:  p.Fset.Position(call.Pos()),
 						Rule: "detrand",
-						Msg: "wall-clock read in the deterministic mapper; " +
+						Msg: "wall-clock read in the deterministic " + where + "; " +
 							"time.Now is only allowed to feed time.Since",
+					})
+				}
+			case "os":
+				// Environment reads are only banned in the simulator;
+				// core's exact backend deliberately honors an env knob.
+				if inSim && (sel.Sel.Name == "Getenv" || sel.Sel.Name == "LookupEnv") {
+					out = append(out, Finding{
+						Pos:  p.Fset.Position(call.Pos()),
+						Rule: "detrand",
+						Msg: "environment read in the deterministic simulator; " +
+							"thread configuration through sim options instead",
 					})
 				}
 			}

@@ -186,7 +186,7 @@ func Good(seed int64) (int, time.Duration) {
 	}
 }
 
-func TestDetrandScopedToCore(t *testing.T) {
+func TestDetrandScopedToCoreAndSim(t *testing.T) {
 	fs := analyzeSrc(t, "repro/internal/elsewhere", `package elsewhere
 
 import "math/rand"
@@ -194,7 +194,67 @@ import "math/rand"
 func Free() int { return rand.Intn(10) }
 `)
 	if got := rulesOf(fs); got["detrand"] != 0 {
-		t.Errorf("detrand must only apply to internal/core:\n%v", fs)
+		t.Errorf("detrand must only apply to internal/core and internal/sim:\n%v", fs)
+	}
+}
+
+// TestDetrandSimFlagsEnvAndClock pins the simulator scope: internal/sim
+// is held to the same rand/clock rules as the mapper, plus a ban on
+// environment reads — cycle counts must depend only on the bitstream
+// and memory image.
+func TestDetrandSimFlagsEnvAndClock(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/sim", `package sim
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Bad() int {
+	if os.Getenv("SIM_FAST") != "" { // flagged: environment steers the sim
+		return rand.Intn(10) // flagged: global source
+	}
+	if _, ok := os.LookupEnv("SIM_TRACE"); ok { // flagged: environment read
+		return int(time.Now().Unix()) // flagged: wall clock
+	}
+	return 0
+}
+
+func Good(seed int64) (int, time.Duration) {
+	start := time.Now() // ok: only feeds time.Since
+	rng := rand.New(rand.NewSource(seed))
+	v := rng.Intn(10)
+	return v, time.Since(start)
+}
+`)
+	got := rulesOf(fs)
+	if got["detrand"] != 4 {
+		t.Errorf("want 4 detrand findings, got %d:\n%v", got["detrand"], fs)
+	}
+	var envMsgs int
+	for _, f := range fs {
+		if f.Rule == "detrand" && strings.Contains(f.Msg, "environment read") {
+			envMsgs++
+		}
+	}
+	if envMsgs != 2 {
+		t.Errorf("want 2 environment findings, got %d:\n%v", envMsgs, fs)
+	}
+}
+
+// TestDetrandCoreEnvExempt pins the asymmetry: os.Getenv stays legal in
+// internal/core (the exact backend's node-budget knob reads it on
+// purpose) even though the same call is flagged in internal/sim.
+func TestDetrandCoreEnvExempt(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/core", `package core
+
+import "os"
+
+func Budget() string { return os.Getenv("CGRA_EXACT_NODE_BUDGET") }
+`)
+	if got := rulesOf(fs); got["detrand"] != 0 {
+		t.Errorf("os.Getenv in internal/core must stay exempt:\n%v", fs)
 	}
 }
 

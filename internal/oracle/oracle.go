@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/static"
 	"repro/internal/verify"
 )
 
@@ -146,6 +147,13 @@ const (
 	// that verified clean — results, counters, and final memories must be
 	// bit-identical, so any difference is an engine bug.
 	BatchDiverged
+	// StaticUnsound: the static analyzer's claims about a verifier-clean
+	// program contradicted its simulated behavior — an executed block
+	// claimed unreachable, activity outside the static bounds, or a
+	// stripped rewrite that fails re-verification or changes observable
+	// behavior. Soundness is the analyzer's whole contract, so any
+	// contradiction is a bug.
+	StaticUnsound
 )
 
 func (o Outcome) String() string {
@@ -166,13 +174,16 @@ func (o Outcome) String() string {
 		return "inverted"
 	case BatchDiverged:
 		return "batch-diverged"
+	case StaticUnsound:
+		return "static-unsound"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
 
 // Bug reports whether the outcome indicates a correctness bug.
 func (o Outcome) Bug() bool {
-	return o == Diverged || o == Failed || o == Illegal || o == Inverted || o == BatchDiverged
+	return o == Diverged || o == Failed || o == Illegal || o == Inverted ||
+		o == BatchDiverged || o == StaticUnsound
 }
 
 // CellResult is the outcome of checking one graph in one cell.
@@ -221,6 +232,15 @@ type Pipeline struct {
 	// BatchDiverged (the fault-injection tests prove the classification
 	// and shrinking work).
 	MutateBatch func(lanes []cdfg.Memory)
+	// MutateStripped, when non-nil, corrupts the dead-context-stripped
+	// program between the rewrite and its re-verification — a deliberate
+	// rewriter-side fault, so the injected difference surfaces as
+	// StaticUnsound.
+	MutateStripped func(*asm.Program)
+	// SkipStatic disables the static-analyzer cross-check that follows a
+	// clean batch differential. Sweeps leave it on; it exists for tests
+	// that need the pre-analyzer pipeline.
+	SkipStatic bool
 }
 
 // defaultBatchLanes is the width of the batch differential every check
@@ -295,6 +315,10 @@ func (p *Pipeline) check(g *cdfg.Graph, mem cdfg.Memory, cell Cell, seed int64) 
 		r.Outcome, r.Err = outcome, err
 		return r
 	}
+	if outcome, err := p.checkStatic(prog, s, mem); err != nil {
+		r.Outcome, r.Err = outcome, err
+		return r
+	}
 	r.Outcome = Pass
 	return r
 }
@@ -336,6 +360,65 @@ func (p *Pipeline) checkBatch(s *sim.Sim, mem cdfg.Memory) (Outcome, error) {
 		if !reflect.DeepEqual(bmems[l], refMem) {
 			return BatchDiverged, fmt.Errorf("oracle: batch lane %d/%d final memory diverged from the scalar interpreter", l, lanes)
 		}
+	}
+	return Pass, nil
+}
+
+// checkStatic is the static-analyzer cross-check a clean batch
+// differential is followed by: the analyzer's claims about the
+// verifier-clean program must hold on a scalar run (reachability,
+// exact activity tables, cycle/stall bounds), and the dead-context-
+// stripped rewrite must re-verify clean and reproduce the run exactly
+// — same stalls, block trace and final memory, cycles shifted by
+// precisely the reported elision delta. Any contradiction is
+// StaticUnsound: the analyzer (or the rewriter) lied about this
+// program.
+func (p *Pipeline) checkStatic(prog *asm.Program, s *sim.Sim, mem cdfg.Memory) (Outcome, error) {
+	if p.SkipStatic {
+		return Pass, nil
+	}
+	a, err := static.Analyze(prog, static.WithObs(p.Obs))
+	if err != nil {
+		return StaticUnsound, fmt.Errorf("oracle: static analysis rejected a verifier-clean program: %w", err)
+	}
+	refMem := mem.Clone()
+	res, err := s.RunScalar(refMem)
+	if err != nil {
+		return Failed, fmt.Errorf("oracle: scalar reference run: %w", err)
+	}
+	if err := a.CheckRun(res); err != nil {
+		return StaticUnsound, err
+	}
+	stripped, rep, err := static.Strip(prog, a, static.WithObs(p.Obs))
+	if err != nil {
+		return StaticUnsound, fmt.Errorf("oracle: strip: %w", err)
+	}
+	if p.MutateStripped != nil {
+		p.MutateStripped(stripped)
+	}
+	if vres := verify.CheckProgram(stripped); !vres.OK() {
+		return StaticUnsound, fmt.Errorf("oracle: stripped program fails re-verification: %w", vres.Err())
+	}
+	s2, err := sim.New(stripped)
+	if err != nil {
+		return StaticUnsound, fmt.Errorf("oracle: sim of stripped program: %w", err)
+	}
+	gotMem := mem.Clone()
+	res2, err := s2.RunScalar(gotMem)
+	if err != nil {
+		return StaticUnsound, fmt.Errorf("oracle: stripped program trapped where the original ran: %w", err)
+	}
+	switch {
+	case res2.Cycles != res.Cycles-rep.CycleDelta(res.BlockExecs):
+		return StaticUnsound, fmt.Errorf("oracle: stripped run took %d cycles, original %d with reported delta %d",
+			res2.Cycles, res.Cycles, rep.CycleDelta(res.BlockExecs))
+	case res2.StallCycles != res.StallCycles:
+		return StaticUnsound, fmt.Errorf("oracle: stripped run stalled %d cycles, original %d",
+			res2.StallCycles, res.StallCycles)
+	case !reflect.DeepEqual(res2.BlockExecs, res.BlockExecs):
+		return StaticUnsound, fmt.Errorf("oracle: stripped run's block trace diverged from the original")
+	case !reflect.DeepEqual(gotMem, refMem):
+		return StaticUnsound, fmt.Errorf("oracle: stripped run's final memory diverged from the original")
 	}
 	return Pass, nil
 }

@@ -53,7 +53,7 @@ func TestOutcomeClassification(t *testing.T) {
 	}{
 		{Pass, false}, {NoMapping, false}, {Overflow, false},
 		{Diverged, true}, {Failed, true}, {Illegal, true}, {Inverted, true},
-		{BatchDiverged, true},
+		{BatchDiverged, true}, {StaticUnsound, true},
 	} {
 		if tc.o.Bug() != tc.bug {
 			t.Errorf("%s.Bug() = %v, want %v", tc.o, tc.o.Bug(), tc.bug)

@@ -88,7 +88,7 @@ func (r *SweepReport) String() string {
 		m := r.ByCell[c]
 		fmt.Fprintf(&sb, "  %-14s pass %4d  no-mapping %3d  overflow %3d  bugs %d\n",
 			c, m[Pass], m[NoMapping], m[Overflow],
-			m[Diverged]+m[Failed]+m[Illegal]+m[Inverted]+m[BatchDiverged])
+			m[Diverged]+m[Failed]+m[Illegal]+m[Inverted]+m[BatchDiverged]+m[StaticUnsound])
 	}
 	return sb.String()
 }

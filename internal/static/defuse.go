@@ -1,0 +1,129 @@
+package static
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cdfg"
+	"repro/internal/isa"
+)
+
+// Def-use chains over the bitstream's storage locations. Where the
+// liveness pass answers "may anything observe this value" with one bit,
+// the chains record *who*: for every context cell that commits a value
+// to a tile output register or RF entry, the cells that read that
+// definition before it is overwritten. Cross-block flow is summarized
+// by the Escapes flag (the definition survives to the block's exit) and
+// by uses of upstream values (operands whose reaching definition lies
+// in a predecessor block or the initial machine state).
+
+// Site names one occupied context cell.
+type Site struct {
+	BB    cdfg.BBID
+	Tile  int
+	Cycle int
+}
+
+// Loc names one storage location: tile out register (Reg < 0) or RF
+// entry Reg of the tile.
+type Loc struct {
+	Tile int
+	Reg  int
+}
+
+// Def is one committed definition and its local uses.
+type Def struct {
+	Site Site
+	Loc  Loc
+	Uses []Site
+	// Escapes marks definitions still current at block exit: their
+	// uses, if any, lie in successor blocks and are accounted for by
+	// the liveness fixed point rather than listed here.
+	Escapes bool
+}
+
+// DefUse holds the chains of every reachable block.
+type DefUse struct {
+	Defs []Def
+	// UpstreamUses counts operand reads whose reaching definition is
+	// not in the same block (a predecessor's escaped value or the
+	// initial machine state).
+	UpstreamUses int
+}
+
+// Unused counts definitions with no local uses that do not escape —
+// the candidates liveness confirms (or refutes, via a cross-block use)
+// as dead.
+func (d *DefUse) Unused() int {
+	n := 0
+	for i := range d.Defs {
+		if len(d.Defs[i].Uses) == 0 && !d.Defs[i].Escapes {
+			n++
+		}
+	}
+	return n
+}
+
+// buildDefUse scans each reachable block once, forward, resolving every
+// operand read to the last commit of its location in the same block.
+func buildDefUse(cfg *CFG, reachable []bool) *DefUse {
+	du := &DefUse{}
+	last := make(map[Loc]int) // location -> index into du.Defs
+	for bb := range cfg.Blocks {
+		if !reachable[bb] {
+			continue
+		}
+		bc := &cfg.Blocks[bb]
+		clear(last)
+		blockStart := len(du.Defs)
+		for c := 0; c < bc.Len; c++ {
+			// Reads observe pre-cycle state: resolve all of this cycle's
+			// operands before any of its commits land.
+			for t := 0; t < cfg.NumTiles; t++ {
+				in := bc.Grid[t][c]
+				if in == nil {
+					continue
+				}
+				use := Site{BB: cdfg.BBID(bb), Tile: t, Cycle: c}
+				for i := 0; i < in.NSrc; i++ {
+					var loc Loc
+					switch src := in.Srcs[i]; src.Kind {
+					case isa.SrcReg:
+						loc = Loc{Tile: t, Reg: int(src.Reg)}
+					case isa.SrcSelf:
+						loc = Loc{Tile: t, Reg: -1}
+					case isa.SrcNbr:
+						nb := cfg.Prog.Grid.Neighbors(arch.TileID(t))[src.Dir]
+						loc = Loc{Tile: int(nb), Reg: -1}
+					default:
+						continue // immediates have no defining cell
+					}
+					if di, ok := last[loc]; ok {
+						du.Defs[di].Uses = append(du.Defs[di].Uses, use)
+					} else {
+						du.UpstreamUses++
+					}
+				}
+			}
+			for t := 0; t < cfg.NumTiles; t++ {
+				in := bc.Grid[t][c]
+				if in == nil || !writesOut(in) {
+					continue
+				}
+				site := Site{BB: cdfg.BBID(bb), Tile: t, Cycle: c}
+				loc := Loc{Tile: t, Reg: -1}
+				du.Defs = append(du.Defs, Def{Site: site, Loc: loc})
+				last[loc] = len(du.Defs) - 1
+				if in.WB && int(in.WReg) < cfg.RRFSize {
+					rfLoc := Loc{Tile: t, Reg: int(in.WReg)}
+					du.Defs = append(du.Defs, Def{Site: site, Loc: rfLoc})
+					last[rfLoc] = len(du.Defs) - 1
+				}
+			}
+		}
+		for _, di := range last {
+			if di >= blockStart {
+				du.Defs[di].Escapes = true
+			}
+		}
+	}
+	return du
+}

@@ -1,0 +1,238 @@
+package static
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cdfg"
+	"repro/internal/isa"
+)
+
+// Faint-variable liveness over the bitstream's storage locations: one
+// bit per tile output register and per tile RF entry. An occupied
+// context cell is live when it is rooted (stores, branches and loads —
+// the externally observable or faulting/stalling ops) or when some
+// *live* instruction later observes a location it writes. Chains of
+// moves and ALU ops feeding only each other die together — the faint
+// part — which is exactly what lets Strip rewrite them to idle cycles
+// without changing any observable behavior.
+//
+// The backward solver runs over block live-out sets (the union of the
+// successors' live-ins; halting blocks end with nothing live, since
+// memory — reached only through rooted ops — is the only output), so
+// values carried across block boundaries through held output registers
+// or the RF survive.
+
+// bitset is a fixed-capacity bit vector lattice; join is union.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// union merges o into b, reporting growth.
+func (b bitset) union(o bitset) bool {
+	grew := false
+	for i := range b {
+		if o[i]&^b[i] != 0 {
+			grew = true
+		}
+		b[i] |= o[i]
+	}
+	return grew
+}
+
+// Liveness is the solved liveness problem plus the per-cell verdicts.
+type Liveness struct {
+	cfg *CFG
+	// LiveOut[bb] is the set of locations live when block bb exits.
+	LiveOut []bitset
+	// LiveIn[bb] is the set of locations live when block bb is entered.
+	LiveIn []bitset
+	// dead[bb][t][c] marks provably-dead occupied cells.
+	dead               [][][]bool
+	deadOps, deadMoves int
+	numTiles, rrfSize  int
+}
+
+// locOut is the location index of tile t's output register.
+func (l *Liveness) locOut(t int) int { return t }
+
+// locRF is the location index of tile t's RF entry r.
+func (l *Liveness) locRF(t, r int) int { return l.numTiles + t*l.rrfSize + r }
+
+// numLocs is the total location count.
+func (l *Liveness) numLocs() int { return l.numTiles + l.numTiles*l.rrfSize }
+
+// Dead reports whether the occupied cell at (bb, tile, cycle) is
+// provably dead: removing it cannot change any observable behavior.
+func (l *Liveness) Dead(bb cdfg.BBID, tile, cycle int) bool {
+	return l.dead[bb][tile][cycle]
+}
+
+// rooted reports the ops liveness may never remove: stores and loads
+// touch memory (and the interconnect's stall arbitration), branches
+// steer control.
+func rooted(in *isa.Instr) bool {
+	return in.Kind == isa.KOp &&
+		(in.Op == cdfg.OpStore || in.Op == cdfg.OpLoad || in.Op == cdfg.OpBr)
+}
+
+// faultRisk reports whether executing the instruction can fault on its
+// own (out-of-range register access). The verifier rejects these
+// (REG001/REG002), but liveness keeps them pinned anyway so Strip never
+// deletes a fault from an unverified program.
+func faultRisk(in *isa.Instr, rrf int) bool {
+	if in.WB && int(in.WReg) >= rrf {
+		return true
+	}
+	for i := 0; i < in.NSrc; i++ {
+		if in.Srcs[i].Kind == isa.SrcReg && int(in.Srcs[i].Reg) >= rrf {
+			return true
+		}
+	}
+	return false
+}
+
+// writesOut reports whether the instruction commits a value to its
+// tile's output register (moves, ALU ops, loads).
+func writesOut(in *isa.Instr) bool {
+	return in.Kind == isa.KMove || (in.Kind == isa.KOp && in.Op.HasResult())
+}
+
+// solveLiveness runs the backward fixed point and derives the per-cell
+// dead marks. Unreachable blocks get solved too (their sets are sound);
+// strip handles them separately, so their cells are never marked dead
+// here. Branch facts from the constant propagation prune refuted edges:
+// a value consumed only beyond a never-taken branch is dead, which is
+// what kills the initialization of a configuration-disabled arm.
+func solveLiveness(cfg *CFG, reachable []bool, branch []BranchFact) *Liveness {
+	l := &Liveness{cfg: cfg, numTiles: cfg.NumTiles, rrfSize: cfg.RRFSize}
+	nl := l.numLocs()
+	live := make([]bool, cfg.NumTiles) // per-tile scratch for one cycle
+	sol := Solve(cfg, Problem[bitset]{
+		Dir:    Backward,
+		Bottom: func() bitset { return newBitset(nl) },
+		Join: func(dst, src bitset) (bitset, bool) {
+			return dst, dst.union(src)
+		},
+		Transfer: func(bb cdfg.BBID, out bitset) bitset {
+			in := out.clone()
+			l.transferBlock(bb, in, live, nil)
+			return in
+		},
+		EdgeFeasible: func(from, to cdfg.BBID) bool {
+			bc := &cfg.Blocks[from]
+			if !bc.HasBranch {
+				return true
+			}
+			switch branch[from] {
+			case BranchTaken:
+				return to == bc.Succs[0]
+			case BranchNotTaken:
+				return to == bc.Succs[1]
+			}
+			return true
+		},
+	})
+	l.LiveIn, l.LiveOut = sol.In, sol.Out
+
+	// Final marking pass: re-walk each block against its fixed-point
+	// live-out, recording the per-cell verdicts.
+	l.dead = make([][][]bool, len(cfg.Blocks))
+	for bb := range cfg.Blocks {
+		marks := make([][]bool, cfg.NumTiles)
+		for t := range marks {
+			marks[t] = make([]bool, cfg.Blocks[bb].Len)
+		}
+		l.dead[bb] = marks
+		if !reachable[bb] {
+			continue // stripped wholesale, not cell by cell
+		}
+		scratch := l.LiveOut[bb].clone()
+		l.transferBlock(cdfg.BBID(bb), scratch, live, marks)
+		for t := range marks {
+			for c, d := range marks[t] {
+				if !d {
+					continue
+				}
+				if cfg.Blocks[bb].Grid[t][c].Kind == isa.KMove {
+					l.deadMoves++
+				} else {
+					l.deadOps++
+				}
+			}
+		}
+	}
+	return l
+}
+
+// transferBlock walks one block backward, mutating set from the block's
+// live-out to its live-in. Reads observe pre-cycle state and writes
+// commit at cycle end, so within one cycle the whole array's liveness
+// verdicts are decided against the post-cycle set before any kill or
+// use lands. When marks is non-nil, dead cells are recorded (true =
+// dead).
+func (l *Liveness) transferBlock(bb cdfg.BBID, set bitset, live []bool, marks [][]bool) {
+	cfg := l.cfg
+	bc := &cfg.Blocks[bb]
+	for c := bc.Len - 1; c >= 0; c-- {
+		for t := 0; t < cfg.NumTiles; t++ {
+			in := bc.Grid[t][c]
+			if in == nil {
+				continue
+			}
+			lv := rooted(in) || faultRisk(in, l.rrfSize)
+			if !lv && writesOut(in) {
+				if set.has(l.locOut(t)) {
+					lv = true
+				}
+				if in.WB && int(in.WReg) < l.rrfSize && set.has(l.locRF(t, int(in.WReg))) {
+					lv = true
+				}
+			}
+			live[t] = lv
+			if marks != nil {
+				marks[t][c] = !lv
+			}
+		}
+		// Kills: live writers overwrite their locations, ending earlier
+		// definitions' ranges.
+		for t := 0; t < cfg.NumTiles; t++ {
+			in := bc.Grid[t][c]
+			if in == nil || !live[t] || !writesOut(in) {
+				continue
+			}
+			set.clear(l.locOut(t))
+			if in.WB && int(in.WReg) < l.rrfSize {
+				set.clear(l.locRF(t, int(in.WReg)))
+			}
+		}
+		// Uses: live instructions' operand reads.
+		for t := 0; t < cfg.NumTiles; t++ {
+			in := bc.Grid[t][c]
+			if in == nil || !live[t] {
+				continue
+			}
+			for i := 0; i < in.NSrc; i++ {
+				switch src := in.Srcs[i]; src.Kind {
+				case isa.SrcReg:
+					if int(src.Reg) < l.rrfSize {
+						set.set(l.locRF(t, int(src.Reg)))
+					}
+				case isa.SrcSelf:
+					set.set(l.locOut(t))
+				case isa.SrcNbr:
+					nb := cfg.Prog.Grid.Neighbors(arch.TileID(t))[src.Dir]
+					set.set(l.locOut(int(nb)))
+				}
+			}
+		}
+	}
+}

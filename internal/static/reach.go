@@ -1,0 +1,18 @@
+package static
+
+import "repro/internal/cdfg"
+
+// Reachability computes branch-agnostic block reachability: the forward
+// unit-lattice instance of the solver, where reaching the fixed point
+// just means the worklist visited every block some feasible edge path
+// leads to. Branch conditions are not interpreted — both arms of every
+// branch count as feasible; propagateConsts refines this.
+func Reachability(cfg *CFG) []bool {
+	sol := Solve(cfg, Problem[struct{}]{
+		Dir:      Forward,
+		Bottom:   func() struct{} { return struct{}{} },
+		Join:     func(dst, src struct{}) (struct{}, bool) { return dst, false },
+		Transfer: func(bb cdfg.BBID, in struct{}) struct{} { return in },
+	})
+	return sol.Reached
+}

@@ -1,0 +1,148 @@
+package static
+
+import "repro/internal/cdfg"
+
+// Direction orients a dataflow problem over the block CFG.
+type Direction int
+
+const (
+	// Forward propagates states along CFG edges from the entry block.
+	Forward Direction = iota
+	// Backward propagates states against CFG edges from every block
+	// (liveness-style problems need no distinguished exit: blocks inside
+	// infinite loops still get a sound — empty-boundary — solution).
+	Backward
+)
+
+// Problem is a monotone join-lattice dataflow problem. S is the lattice
+// state attached to block boundaries; the solver iterates Transfer and
+// Join to the least fixed point.
+type Problem[S any] struct {
+	Dir Direction
+	// Bottom produces the lattice's least element — the initial state of
+	// every block boundary.
+	Bottom func() S
+	// Boundary produces the state entering the CFG: the entry block's
+	// in-state (Forward) or every block's seed out-state (Backward). Nil
+	// defaults to Bottom.
+	Boundary func() S
+	// Join merges src into dst, returning the merged state and whether
+	// it grew. Join owns dst (it may mutate it in place) and must not
+	// retain src.
+	Join func(dst, src S) (S, bool)
+	// Transfer applies block bb to the incoming state and returns the
+	// outgoing state. It must not retain or mutate in.
+	Transfer func(bb cdfg.BBID, in S) S
+	// FlowEdge filters and adapts the state flowing across one CFG edge
+	// (Forward only). Returning false marks the edge infeasible: nothing
+	// propagates and the target is not reached through it. Nil means
+	// every edge passes the state unchanged.
+	FlowEdge func(from, to cdfg.BBID, out S) (S, bool)
+	// EdgeFeasible, when non-nil, prunes CFG edges for backward
+	// problems: states do not propagate from a successor against an
+	// infeasible edge. Callers derive feasibility from a prior forward
+	// analysis (constant branch conditions), which is what makes
+	// liveness see through never-taken branches.
+	EdgeFeasible func(from, to cdfg.BBID) bool
+}
+
+// Solution is a solved dataflow problem: the fixed-point states at each
+// block's boundary and, for forward problems, which blocks the solver
+// reached through feasible edges.
+type Solution[S any] struct {
+	// In is the state entering each block (Forward: join over feasible
+	// incoming edges; Backward: result of the block's transfer).
+	In []S
+	// Out is the state leaving each block (Forward: transfer result;
+	// Backward: join over successors' In).
+	Out []S
+	// Reached marks blocks the forward solver visited: the entry block
+	// plus everything fed by a feasible edge from a reached block. For
+	// backward problems every block is marked.
+	Reached []bool
+}
+
+// Solve runs the worklist algorithm to the least fixed point. The
+// worklist is kept in deterministic (block-id ordered, deduplicated)
+// rounds so solutions are reproducible run to run.
+func Solve[S any](cfg *CFG, p Problem[S]) *Solution[S] {
+	nb := len(cfg.Blocks)
+	sol := &Solution[S]{
+		In:      make([]S, nb),
+		Out:     make([]S, nb),
+		Reached: make([]bool, nb),
+	}
+	boundary := p.Boundary
+	if boundary == nil {
+		boundary = p.Bottom
+	}
+	inList := make([]bool, nb)
+	var work []cdfg.BBID
+	push := func(bb cdfg.BBID) {
+		if !inList[bb] {
+			inList[bb] = true
+			work = append(work, bb)
+		}
+	}
+
+	if p.Dir == Forward {
+		for bb := 0; bb < nb; bb++ {
+			sol.In[bb] = p.Bottom()
+			sol.Out[bb] = p.Bottom()
+		}
+		sol.In[cfg.Entry], _ = p.Join(sol.In[cfg.Entry], boundary())
+		sol.Reached[cfg.Entry] = true
+		push(cfg.Entry)
+		for len(work) > 0 {
+			bb := work[0]
+			work = work[1:]
+			inList[bb] = false
+			out := p.Transfer(bb, sol.In[bb])
+			sol.Out[bb] = out
+			for _, s := range cfg.Blocks[bb].Succs {
+				st := out
+				if p.FlowEdge != nil {
+					var ok bool
+					st, ok = p.FlowEdge(bb, s, out)
+					if !ok {
+						continue
+					}
+				}
+				merged, grew := p.Join(sol.In[s], st)
+				sol.In[s] = merged
+				if grew || !sol.Reached[s] {
+					sol.Reached[s] = true
+					push(s)
+				}
+			}
+		}
+		return sol
+	}
+
+	// Backward: every block starts from the boundary state on its out
+	// side; edges run from successors' in-states to predecessors.
+	for bb := 0; bb < nb; bb++ {
+		sol.Out[bb] = boundary()
+		sol.In[bb] = p.Bottom()
+		sol.Reached[bb] = true
+		push(cdfg.BBID(bb))
+	}
+	for len(work) > 0 {
+		bb := work[0]
+		work = work[1:]
+		inList[bb] = false
+		in := p.Transfer(bb, sol.Out[bb])
+		sol.In[bb] = in
+		for _, pred := range cfg.Preds[bb] {
+			if p.EdgeFeasible != nil && !p.EdgeFeasible(pred, bb) {
+				continue
+			}
+			merged, grew := p.Join(sol.Out[pred], in)
+			sol.Out[pred] = merged
+			if grew {
+				push(pred)
+			}
+		}
+	}
+	return sol
+}

@@ -1,0 +1,287 @@
+package static
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/cdfg"
+	"repro/internal/isa"
+)
+
+// Dead-context elimination: the analyzer's payoff pass. Strip rewrites
+// a program into one with strictly fewer (never more) context words and
+// bit-identical observable behavior — same cycle count, same stalls,
+// same block trace, same final memory on every input:
+//
+//   - provably-dead ops and moves (Liveness.Dead) fold into the
+//     surrounding idle cycles, so runs of pnop words merge;
+//   - unreachable non-branching blocks empty out entirely (zero-length
+//     schedule, zero words);
+//   - unreachable *branching* blocks shrink to a one-cycle stub that
+//     keeps the branch op on its announced tile, because the branch
+//     verifier pass demands every branching graph block announce a tile
+//     whose segment executes a branch — words still shrink, since the
+//     original spans at least one cycle on every tile too;
+//   - *halting* blocks (no successors) that are fully idle after dead
+//     cells fold away are elided to a zero-length schedule. Their pnop
+//     words are pure configuration overhead: each tile fetches one word
+//     only to idle until the array halts. This is where every mapped
+//     kernel saves context words — the loop-nest exit block idles the
+//     whole fabric for its schedule length.
+//
+// Schedule lengths of reachable non-halting blocks never change (a dead
+// cell becomes an idle cycle, not a removed one), so the rewrite is
+// cycle-exact except for elided halting blocks, which run at most once
+// and contribute a statically known cycle count: a run of the stripped
+// program takes exactly StripReport.CycleDelta(execs) fewer cycles than
+// the original run (same stalls, same block trace, same final memory).
+// The oracle and the kernel sweep tests enforce the arithmetic
+// empirically.
+
+// ElidedBlock records one halting block whose idle schedule was removed.
+type ElidedBlock struct {
+	BB cdfg.BBID
+	// Cycles is the block's original schedule length: the cycles one
+	// execution of the stripped program no longer spends there.
+	Cycles int
+}
+
+// StripReport summarizes one rewrite.
+type StripReport struct {
+	WordsBefore, WordsAfter int
+	// DeadOps and DeadMoves count the occupied context cells rewritten
+	// to idle cycles in reachable blocks.
+	DeadOps, DeadMoves int
+	// EmptiedBlocks counts unreachable blocks rewritten to zero-length
+	// schedules; StubbedBlocks counts unreachable branching blocks kept
+	// as one-cycle branch stubs.
+	EmptiedBlocks, StubbedBlocks int
+	// Elided lists the reachable halting blocks whose all-idle schedules
+	// were removed.
+	Elided []ElidedBlock
+}
+
+// WordsSaved is the context-memory reduction the rewrite achieved.
+func (r *StripReport) WordsSaved() int { return r.WordsBefore - r.WordsAfter }
+
+// CycleDelta is the exact number of cycles a run of the stripped
+// program saves over the original, given the original run's block
+// execution counts. Only elided halting blocks change timing, and a
+// halting block executes at most once per run.
+func (r *StripReport) CycleDelta(execs map[cdfg.BBID]int64) int64 {
+	var d int64
+	for _, e := range r.Elided {
+		d += int64(e.Cycles) * execs[e.BB]
+	}
+	return d
+}
+
+// Strip rewrites the program, dropping every context word the analysis
+// proves dead. The input program is not modified. Callers should run
+// the analysis and the verifier on the same program first: Strip
+// preserves the behavior of verifier-clean programs exactly, and the
+// rewritten program re-verifies clean (verify.CheckProgram).
+func Strip(p *asm.Program, a *Analysis, opts ...Option) (*asm.Program, *StripReport, error) {
+	if a.Prog != p {
+		return nil, nil, fmt.Errorf("static: analysis belongs to a different program")
+	}
+	cfgOpts := Analysis{}
+	for _, o := range opts {
+		o(&cfgOpts)
+	}
+	recorder := cfgOpts.obs
+	nb := len(p.Graph.Blocks)
+	out := &asm.Program{
+		Graph:       p.Graph,
+		Grid:        p.Grid,
+		Tiles:       make([]asm.TileContext, len(p.Tiles)),
+		BlockLens:   make([]int, nb),
+		BranchTiles: make([]arch.TileID, nb),
+	}
+	copy(out.BlockLens, p.BlockLens)
+	copy(out.BranchTiles, p.BranchTiles)
+	rep := &StripReport{WordsBefore: p.TotalWords()}
+
+	// Decide each block's fate once, so every tile agrees.
+	const (
+		keepBlock = iota
+		emptyBlock
+		stubBlock
+		elideBlock
+	)
+	fate := make([]int, nb)
+	for bb := 0; bb < nb; bb++ {
+		if a.Reachable[bb] {
+			bc := &a.CFG.Blocks[bb]
+			if !bc.HasBranch && len(bc.Succs) == 0 && bc.Len > 0 && allIdle(a, cdfg.BBID(bb)) {
+				fate[bb] = elideBlock
+				out.BlockLens[bb] = 0
+				rep.Elided = append(rep.Elided, ElidedBlock{BB: cdfg.BBID(bb), Cycles: bc.Len})
+				countDead(a, cdfg.BBID(bb), rep)
+			}
+			continue
+		}
+		bc := &a.CFG.Blocks[bb]
+		if !bc.HasBranch {
+			fate[bb] = emptyBlock
+			out.BlockLens[bb] = 0
+			if bc.Len > 0 {
+				rep.EmptiedBlocks++ // already-empty blocks are not a change
+			}
+			continue
+		}
+		// A branching block must keep announcing a tile that executes a
+		// branch (BR001/BR003). Shrink it to one cycle: the original
+		// branch op on the announced tile, idles everywhere else.
+		bt := int(p.BranchTiles[bb])
+		if bt < 0 || bt >= len(p.Tiles) || findBranchOp(bc, bt) == nil {
+			fate[bb] = keepBlock // unverifiable shape: leave it untouched
+			continue
+		}
+		fate[bb] = stubBlock
+		out.BlockLens[bb] = 1
+		if !isStub(bc, bt) {
+			rep.StubbedBlocks++ // already-stub blocks are not a change
+		}
+	}
+
+	for t := range p.Tiles {
+		tc := &out.Tiles[t]
+		tc.Tile = p.Tiles[t].Tile
+		tc.CRF = isa.NewCRF()
+		tc.Segments = make([]asm.Segment, nb)
+		for bb := 0; bb < nb; bb++ {
+			seg := asm.Segment{BB: cdfg.BBID(bb), Cycles: out.BlockLens[bb]}
+			switch fate[bb] {
+			case emptyBlock, elideBlock:
+				// zero cycles, zero words
+			case stubBlock:
+				if t == int(p.BranchTiles[bb]) {
+					seg.Instrs = []isa.Instr{*findBranchOp(&a.CFG.Blocks[bb], t)}
+				} else {
+					seg.Instrs = []isa.Instr{isa.Pnop(1)}
+				}
+			default:
+				seg.Instrs = stripSegment(a, cdfg.BBID(bb), t, rep)
+			}
+			tc.Segments[bb] = seg
+			for _, in := range seg.Instrs {
+				w, err := isa.Encode(in, tc.CRF)
+				if err != nil {
+					return nil, nil, fmt.Errorf("static: tile %d block %q: re-encode: %w",
+						t+1, p.Graph.Blocks[bb].Name, err)
+				}
+				tc.Binary = append(tc.Binary, w)
+			}
+		}
+	}
+	rep.WordsAfter = out.TotalWords()
+	if rep.WordsAfter > rep.WordsBefore {
+		return nil, nil, fmt.Errorf("static: strip grew the program %d -> %d words",
+			rep.WordsBefore, rep.WordsAfter)
+	}
+	if recorder.Enabled() {
+		recorder.Counter("static.strips").Inc()
+		recorder.Counter("static.words_stripped").Add(int64(rep.WordsSaved()))
+		recorder.Counter("static.blocks_emptied").Add(int64(rep.EmptiedBlocks))
+		recorder.Counter("static.blocks_elided").Add(int64(len(rep.Elided)))
+	}
+	return out, rep, nil
+}
+
+// isStub reports whether the block already has the one-cycle stub shape
+// Strip would rewrite it to: a single cycle that is idle on every tile
+// except the announced branch tile's branch op.
+func isStub(bc *BlockCode, bt int) bool {
+	if bc.Len != 1 {
+		return false
+	}
+	for t := range bc.Grid {
+		in := bc.Grid[t][0]
+		switch {
+		case in == nil:
+		case t == bt && in.Kind == isa.KOp && in.Op == cdfg.OpBr:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// allIdle reports whether every context cell of a reachable block is
+// idle or provably dead, so the block's schedule does nothing.
+func allIdle(a *Analysis, bb cdfg.BBID) bool {
+	bc := &a.CFG.Blocks[bb]
+	for t := range bc.Grid {
+		for c, in := range bc.Grid[t] {
+			if in != nil && !a.Live.Dead(bb, t, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// countDead credits an elided block's occupied (necessarily dead) cells
+// to the report, since stripSegment never visits the block.
+func countDead(a *Analysis, bb cdfg.BBID, rep *StripReport) {
+	bc := &a.CFG.Blocks[bb]
+	for t := range bc.Grid {
+		for _, in := range bc.Grid[t] {
+			switch {
+			case in == nil:
+			case in.Kind == isa.KMove:
+				rep.DeadMoves++
+			default:
+				rep.DeadOps++
+			}
+		}
+	}
+}
+
+// stripSegment re-emits one tile row of one reachable block, folding
+// idle cycles and dead cells into pnop words — the same folding the
+// assembler performs on empty schedule slots.
+func stripSegment(a *Analysis, bb cdfg.BBID, t int, rep *StripReport) []isa.Instr {
+	bc := &a.CFG.Blocks[bb]
+	var instrs []isa.Instr
+	gap := 0
+	flush := func() {
+		if gap > 0 {
+			instrs = append(instrs, isa.Pnop(gap))
+			gap = 0
+		}
+	}
+	for c := 0; c < bc.Len; c++ {
+		in := bc.Grid[t][c]
+		if in == nil {
+			gap++
+			continue
+		}
+		if a.Reachable[bb] && a.Live.Dead(bb, t, c) {
+			if in.Kind == isa.KMove {
+				rep.DeadMoves++
+			} else {
+				rep.DeadOps++
+			}
+			gap++
+			continue
+		}
+		flush()
+		instrs = append(instrs, *in)
+	}
+	flush()
+	return instrs
+}
+
+// findBranchOp returns the first branch op in the block's row of the
+// given tile, nil when the row holds none.
+func findBranchOp(bc *BlockCode, t int) *isa.Instr {
+	for c := 0; c < bc.Len; c++ {
+		if in := bc.Grid[t][c]; in != nil && in.Kind == isa.KOp && in.Op == cdfg.OpBr {
+			return in
+		}
+	}
+	return nil
+}

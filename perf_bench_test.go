@@ -13,6 +13,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/sim"
+	"repro/internal/static"
 	"repro/internal/verify"
 )
 
@@ -227,6 +228,48 @@ func BenchmarkOracleCheck(b *testing.B) {
 				r := p.Check(g, k.Init(), cell, 1)
 				if r.Outcome.Bug() {
 					b.Fatalf("oracle found a bug in %s: %v", k.Name, r.Err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStaticAnalyze measures the full fixed-point analysis stack —
+// CFG recovery, reachability, def-use/liveness, SCCP and cost bounds —
+// over each kernel's assembled bitstream, as cgramap -analyze and the
+// oracle's static leg invoke it.
+func BenchmarkStaticAnalyze(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		prog := benchProgram(b, k)
+		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			warm(b, func() error { _, err := static.Analyze(prog); return err })
+			for i := 0; i < b.N; i++ {
+				if _, err := static.Analyze(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStrip measures dead-context elimination on a pre-analyzed
+// bitstream — the rewrite alone, without the analysis it consumes.
+func BenchmarkStrip(b *testing.B) {
+	for _, k := range kernels.All() {
+		k := k
+		prog := benchProgram(b, k)
+		a, err := static.Analyze(prog)
+		if err != nil {
+			b.Fatalf("%s: analyze: %v", k.Name, err)
+		}
+		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			warm(b, func() error { _, _, err := static.Strip(prog, a); return err })
+			for i := 0; i < b.N; i++ {
+				if _, _, err := static.Strip(prog, a); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

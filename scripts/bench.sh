@@ -32,7 +32,7 @@ raw="$(mktemp)"
 cur="$(mktemp)"
 trap 'rm -f "$raw" "$cur"' EXIT
 
-pattern='BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun|BenchmarkVerifyRun|BenchmarkOracleCheck'
+pattern='BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun|BenchmarkVerifyRun|BenchmarkOracleCheck|BenchmarkStaticAnalyze|BenchmarkStrip'
 echo "== go test -bench '$pattern' -run NONE . $*"
 go test -bench "$pattern" -benchmem -run NONE . "$@" | tee "$raw"
 

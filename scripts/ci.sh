@@ -12,13 +12,35 @@ echo "== go vet ./..."
 go vet ./...
 
 # Repo-specific analyzers (internal/lint): nondeterministic map
-# iteration, wall-clock/unseeded randomness in the mapper, dropped
-# errors. Zero findings is the bar; fix violations, don't suppress them.
-echo "== cgralint ./..."
-go run ./cmd/cgralint ./...
+# iteration, wall-clock/unseeded randomness in the mapper and the
+# simulator, dropped errors. Zero findings is the bar; fix violations,
+# don't suppress them. The -json document is kept as cgralint.json so a
+# failing build ships a machine-readable artifact next to the log.
+echo "== cgralint -json ./... (artifact: cgralint.json)"
+go run ./cmd/cgralint -json ./... | tee cgralint.json
 
 echo "== go build ./..."
 go build ./...
+
+# Dead-context strip gate: every kernel's CAB bitstream must survive
+# static analysis + dead-context elimination with a verifier-clean
+# result (cgramap -strip exits non-zero on a dirty re-verification),
+# and the DCFilter — which carries a configuration-dead seed arm by
+# construction — must actually reclaim context words. DCFilter is last
+# in the loop on purpose: the (0 saved) check below reads the file the
+# loop leaves behind, i.e. DCFilter's report.
+echo "== dead-context strip gate (cgramap -strip, HOM64/cab)"
+strip_out="$(mktemp)"
+for k in FIR MatM Convolution SepFilter NonSepFilter FFT DCFilter; do
+    go run ./cmd/cgramap -kernel "$k" -config HOM64 -flow cab -strip > "$strip_out"
+    grep 'dead-context elimination:' "$strip_out" | sed "s/^/  $k: /"
+done
+if grep -q '(0 saved)' "$strip_out"; then
+    rm -f "$strip_out"
+    echo "strip gate: DCFilter's dead seed arm was not reclaimed" >&2
+    exit 1
+fi
+rm -f "$strip_out"
 
 # Bounded differential-oracle smoke: a small seeded sweep of generated
 # CDFGs across every mode × CM config, run up front so a mapper or
