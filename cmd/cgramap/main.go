@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/mapcache"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/prof"
@@ -52,6 +54,8 @@ type cliOptions struct {
 	seed     int64
 	seeds    int
 	parallel int
+	cache    bool
+	cachedir string
 	// rec threads the -metrics/-events recorder into the mapper; nil (the
 	// zero value the tests use) disables instrumentation entirely.
 	rec *obs.Recorder
@@ -72,6 +76,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "stochastic pruning seed (first seed of a portfolio)")
 	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
 	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
+	flag.BoolVar(&o.cache, "cache", false, "reuse compiled mappings through the content-addressed mapping cache")
+	flag.StringVar(&o.cachedir, "cachedir", "", "on-disk mapping-cache directory (implies -cache; entries are re-verified before use)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
@@ -156,25 +162,77 @@ func run(w io.Writer, o cliOptions) error {
 	opt := core.DefaultOptions(fl)
 	opt.Seed = o.seed
 	opt.Obs = o.rec
+	runPortfolio := o.seeds > 1 || len(backends) > 1
+	var computed *core.Mapping // captured so a cache miss still gets the full report
+	compute := func() (mapcache.Computed, error) {
+		if runPortfolio {
+			res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{
+				NumSeeds:  o.seeds,
+				Workers:   o.parallel,
+				Backends:  backends,
+				Objective: power.PortfolioObjective(power.Default()),
+				// The objective's Primary is TotalWords, so incumbent-sharing
+				// pruning is winner-invariant here.
+				PrimaryIsWords: true,
+			})
+			if err != nil {
+				return mapcache.Computed{}, err
+			}
+			fmt.Fprint(w, res.RenderReports())
+			fmt.Fprintf(w, "portfolio wall time %s\n", res.Wall.Round(1_000_000))
+			computed = res.Mapping
+			return mapcache.Computed{Mapping: res.Mapping, Seed: res.Seed, Backend: res.Backend}, nil
+		}
+		m, err := backends[0].Map(context.Background(), g, grid, opt)
+		if err != nil {
+			return mapcache.Computed{}, err
+		}
+		computed = m
+		return mapcache.Computed{Mapping: m, Seed: opt.Seed, Backend: backends[0].Name()}, nil
+	}
+
 	var m *core.Mapping
-	if o.seeds > 1 || len(backends) > 1 {
-		res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{
-			NumSeeds:  o.seeds,
-			Workers:   o.parallel,
-			Backends:  backends,
-			Objective: power.PortfolioObjective(power.Default()),
-		})
+	var prog *asm.Program
+	var meta mapcache.Meta
+	if o.cache || o.cachedir != "" {
+		backendNames := make([]string, len(backends))
+		for i, b := range backends {
+			backendNames[i] = b.Name()
+		}
+		req := mapcache.Request{Graph: g, Grid: grid, Opt: opt, Backends: backendNames}
+		if runPortfolio {
+			req.Seeds = (&core.PortfolioOptions{NumSeeds: o.seeds}).SeedList(o.seed)
+			req.Objective = "words+energy"
+		}
+		cres, err := mapcache.New(mapcache.Config{Dir: o.cachedir, Obs: o.rec}).GetOrStore(req, compute)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(w, res.RenderReports())
-		fmt.Fprintf(w, "portfolio wall time %s\n", res.Wall.Round(1_000_000))
-		m = res.Mapping
+		fmt.Fprintf(w, "cache: %s\n", cres.Source)
+		fmt.Fprintf(w, "image sha256 %x\n", sha256.Sum256(cres.Image))
+		prog, meta = cres.Program, cres.Meta
+		// A miss (or bypass) computed the mapping in-process; report it in
+		// full below. A hit has only the stored metadata.
+		m = computed
 	} else {
-		m, err = backends[0].Map(context.Background(), g, grid, opt)
+		comp, err := compute()
 		if err != nil {
 			return err
 		}
+		m = comp.Mapping
+	}
+	if m == nil {
+		// Cache hit: the Mapping object is gone, but the stored metadata and
+		// the rebuilt (verified) program carry everything the report needs.
+		fmt.Fprintf(w, "mapped %s onto %s with %s from cache (originally %s, seed %d via %s)\n",
+			o.kernel, grid.Name, fl, meta.Stats.CompileTime.Round(1_000_000), meta.Seed, meta.Backend)
+		fmt.Fprintf(w, "ops %d, moves %d, pnops %d, words %d\n", meta.Ops, meta.Moves, meta.Pnops, meta.Words)
+		caps := make([]int, grid.NumTiles())
+		for i := range caps {
+			caps[i] = grid.Tile(arch.TileID(i)).CMWords
+		}
+		fmt.Fprint(w, trace.Utilization("context-memory occupancy:", meta.TileWords, caps))
+		return finishProgram(w, o, g, grid, nil, prog)
 	}
 	fmt.Fprintf(w, "mapped %s onto %s with %s in %s\n", o.kernel, grid.Name, fl, m.Stats.CompileTime.Round(1_000_000))
 	if ex := m.Stats.Exact; ex.NodeBudget > 0 {
@@ -205,8 +263,21 @@ func run(w io.Writer, o cliOptions) error {
 		h := m.SymHomes[s]
 		fmt.Fprintf(w, "symbol %-8s -> tile %d r%d\n", s, h.Tile+1, h.Reg)
 	}
-	var prog *asm.Program
-	if o.listing || o.verify || o.analyze || o.strip {
+	return finishProgram(w, o, g, grid, m, prog)
+}
+
+// finishProgram runs the post-mapping stages shared by the fresh-map and
+// cache-hit paths: listing, static verification, analysis and dead-context
+// stripping. prog may be nil (fresh map without a cache), in which case it
+// is assembled on demand; m may be nil (cache hit), in which case the
+// verifier's Needs gating skips the mapping-level passes and checks the
+// rebuilt bitstream alone.
+func finishProgram(w io.Writer, o cliOptions, g *cdfg.Graph, grid *arch.Grid, m *core.Mapping, prog *asm.Program) error {
+	if prog == nil {
+		if !(o.listing || o.verify || o.analyze || o.strip) {
+			return nil
+		}
+		var err error
 		if prog, err = asm.Assemble(m); err != nil {
 			return err
 		}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/kernels"
+	"repro/internal/mapcache"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -55,7 +56,9 @@ type cliOptions struct {
 	// batch > 1 re-runs the kernel through the batched engine with that
 	// many identical input lanes after the verified run, cross-checks every
 	// lane against it, and reports per-input throughput.
-	batch int
+	batch    int
+	cache    bool
+	cachedir string
 	// rec threads the -metrics/-events recorder into the mapper and the
 	// simulator; nil (the zero value the tests use) disables it.
 	rec *obs.Recorder
@@ -74,6 +77,8 @@ func main() {
 	flag.IntVar(&o.seeds, "seeds", 1, "portfolio width: seeds mapped concurrently, best mapping wins")
 	flag.IntVar(&o.parallel, "parallel", 0, "portfolio worker pool size (0 = one per CPU)")
 	flag.IntVar(&o.batch, "batch", 1, "also run N identical input lanes through the batched engine and report per-input throughput")
+	flag.BoolVar(&o.cache, "cache", false, "reuse compiled mappings through the content-addressed mapping cache")
+	flag.StringVar(&o.cachedir, "cachedir", "", "on-disk mapping-cache directory (implies -cache; entries are re-verified before use)")
 	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
 	events := flag.String("events", "", "write a Chrome trace_event timeline to this file")
 	flag.Parse()
@@ -136,33 +141,71 @@ func run(w io.Writer, o cliOptions) error {
 	opt := core.DefaultOptions(flow)
 	opt.Seed = o.seed
 	opt.Obs = o.rec
-	var m *core.Mapping
-	if o.seeds > 1 || len(backends) > 1 {
-		res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{
-			NumSeeds:  o.seeds,
-			Workers:   o.parallel,
-			Backends:  backends,
-			Objective: power.PortfolioObjective(power.Default()),
-		})
+	runPortfolio := o.seeds > 1 || len(backends) > 1
+	var m *core.Mapping // captured so a cache miss still verifies at mapping level
+	compute := func() (mapcache.Computed, error) {
+		if runPortfolio {
+			res, err := core.MapPortfolio(context.Background(), g, grid, opt, core.PortfolioOptions{
+				NumSeeds:  o.seeds,
+				Workers:   o.parallel,
+				Backends:  backends,
+				Objective: power.PortfolioObjective(power.Default()),
+				// The objective's Primary is TotalWords, so incumbent-sharing
+				// pruning is winner-invariant here.
+				PrimaryIsWords: true,
+			})
+			if err != nil {
+				return mapcache.Computed{}, err
+			}
+			fmt.Fprint(w, res.RenderReports())
+			m = res.Mapping
+			return mapcache.Computed{Mapping: res.Mapping, Seed: res.Seed, Backend: res.Backend}, nil
+		}
+		sm, err := backends[0].Map(context.Background(), g, grid, opt)
+		if err != nil {
+			return mapcache.Computed{}, err
+		}
+		m = sm
+		return mapcache.Computed{Mapping: sm, Seed: opt.Seed, Backend: backends[0].Name()}, nil
+	}
+
+	var prog *asm.Program
+	compileTime := func() time.Duration { return m.Stats.CompileTime }
+	if o.cache || o.cachedir != "" {
+		backendNames := make([]string, len(backends))
+		for i, b := range backends {
+			backendNames[i] = b.Name()
+		}
+		req := mapcache.Request{Graph: g, Grid: grid, Opt: opt, Backends: backendNames}
+		if runPortfolio {
+			req.Seeds = (&core.PortfolioOptions{NumSeeds: o.seeds}).SeedList(o.seed)
+			req.Objective = "words+energy"
+		}
+		cres, err := mapcache.New(mapcache.Config{Dir: o.cachedir, Obs: o.rec}).GetOrStore(req, compute)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(w, res.RenderReports())
-		m = res.Mapping
+		fmt.Fprintf(w, "cache: %s\n", cres.Source)
+		prog = cres.Program
+		meta := cres.Meta
+		compileTime = func() time.Duration { return meta.Stats.CompileTime }
 	} else {
-		m, err = backends[0].Map(context.Background(), g, grid, opt)
+		comp, err := compute()
 		if err != nil {
 			return err
 		}
-	}
-	if ok, t := m.FitsMemory(); !ok {
-		return fmt.Errorf("mapping overflows tile %d's context memory on %s", t+1, grid.Name)
-	}
-	prog, err := asm.Assemble(m)
-	if err != nil {
-		return err
+		m = comp.Mapping
+		if ok, t := m.FitsMemory(); !ok {
+			return fmt.Errorf("mapping overflows tile %d's context memory on %s", t+1, grid.Name)
+		}
+		if prog, err = asm.Assemble(m); err != nil {
+			return err
+		}
 	}
 	if o.verify {
+		// On a cache hit m is nil and the mapping-level passes skip; the
+		// bitstream passes still run (the cache itself re-verified any disk
+		// entry before serving it).
 		vres := verify.Run(&verify.Context{Graph: g, Grid: grid, Mapping: m, Program: prog})
 		fmt.Fprintf(w, "static verification (%d passes):\n%s", len(vres.Ran), vres.Report())
 		if err := vres.Err(); err != nil {
@@ -188,7 +231,7 @@ func run(w io.Writer, o cliOptions) error {
 	e := params.CGRAEnergy(grid, res)
 	fmt.Fprintf(w, "%s on %s (%s): verified OK\n", o.kernel, grid.Name, flow)
 	fmt.Fprintf(w, "cycles %d (stalls %d), context words %d (config), compile %s\n",
-		res.Cycles, res.StallCycles, res.ConfigWords, m.Stats.CompileTime.Round(1_000_000))
+		res.Cycles, res.StallCycles, res.ConfigWords, compileTime().Round(1_000_000))
 	fmt.Fprintf(w, "energy %.4f µJ (config %.4f, fetch %.4f, compute %.4f, memory %.4f, leak %.4f)\n",
 		e.Total(), e.Config, e.Fetch, e.Compute, e.Memory, e.Leak)
 	if o.batch > 1 {

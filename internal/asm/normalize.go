@@ -1,0 +1,36 @@
+package asm
+
+import "repro/internal/isa"
+
+// NormalizeCRF rebuilds every tile's constant register file in first-use
+// order over the program's current segment sequence and re-encodes the
+// binary against it.
+//
+// The assembler produces CRFs in this normal form already, and the
+// verifier's encode pass enforces it (a tile's stored CRF must equal the
+// one re-derived by interning constants in segment order). Reordering a
+// program's blocks — as the mapping cache does when it rebuilds a cached
+// bitstream for an isomorphic graph with a different block numbering —
+// changes the first-use order, so the verbatim CRF and the const-slot
+// indices baked into the words go stale. This restores the invariant;
+// decoded instructions carry constant values, not slot indices, so the
+// rewrite is purely an encoding change.
+func NormalizeCRF(p *Program) error {
+	for t := range p.Tiles {
+		tc := &p.Tiles[t]
+		crf := isa.NewCRF()
+		binary := make([]uint64, 0, len(tc.Binary))
+		for si := range tc.Segments {
+			for _, in := range tc.Segments[si].Instrs {
+				w, err := isa.Encode(in, crf)
+				if err != nil {
+					return err
+				}
+				binary = append(binary, w)
+			}
+		}
+		tc.CRF = crf
+		tc.Binary = binary
+	}
+	return nil
+}

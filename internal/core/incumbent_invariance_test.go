@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+// TestPortfolioPruningWinnerInvariant is the contract the incumbent
+// optimization lives under: enabling pruning must not change the winning
+// seed or a single byte of the winning bitstream, at any worker count and
+// any GOMAXPROCS. Pruning only discards provable losers (see
+// incumbent.prune), so the surviving winner is identical; this pins it.
+func TestPortfolioPruningWinnerInvariant(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	keep := map[string]bool{"FIR": true, "DCFilter": true, "FFT": true}
+	for _, k := range kernels.All() {
+		if !keep[k.Name] {
+			continue
+		}
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			g := k.Build()
+			opt := core.DefaultOptions(core.FlowCAB)
+			run := func(noInc bool, workers int) (*core.PortfolioResult, []byte) {
+				res, err := core.MapPortfolio(context.Background(), g, grid, opt,
+					core.PortfolioOptions{NumSeeds: 8, Workers: workers, NoIncumbent: noInc})
+				if err != nil {
+					t.Fatalf("portfolio (noInc=%v workers=%d): %v", noInc, workers, err)
+				}
+				return res, imageOf(t, res.Mapping)
+			}
+			ref, refImg := run(true, 1)
+			for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+				res, img := run(false, workers)
+				if res.Seed != ref.Seed || res.Backend != ref.Backend {
+					t.Fatalf("workers=%d: pruning changed the winner: seed %d backend %q, want seed %d backend %q",
+						workers, res.Seed, res.Backend, ref.Seed, ref.Backend)
+				}
+				if !bytes.Equal(img, refImg) {
+					t.Fatalf("workers=%d: pruning changed the winning bitstream", workers)
+				}
+				pruned := false
+				for _, r := range res.Reports {
+					if r.Pruned {
+						pruned = true
+					}
+				}
+				if workers == 1 && !pruned {
+					t.Error("sequential pruning run pruned nothing — the invariance check is vacuous")
+				}
+			}
+		})
+	}
+}

@@ -75,10 +75,39 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 	}
 
 	order := cdfg.Traversal(g, opt.Traversal)
+	// floorSuffix[i] is the admissible word floor of the blocks still
+	// unmapped when block order[i] starts (see WordLowerBound). Only
+	// portfolio jobs carry an incumbent and pay for this.
+	var floorSuffix []int
+	if opt.incumbent != nil {
+		floorSuffix = make([]int, len(order)+1)
+		for i := len(order) - 1; i >= 0; i-- {
+			floorSuffix[i] = floorSuffix[i+1] + blockWordFloor(g.Blocks[order[i]], n)
+		}
+	}
 	for oi, bbid := range order {
 		if err := opt.ctxErr(); err != nil {
 			m.Stats.CompileTime = time.Since(start)
 			return nil, fmt.Errorf("core: mapping %q onto %s: %w", g.Name, grid.Name, err)
+		}
+		// Incumbent abort: once the words already committed plus the floor
+		// of everything left provably cannot beat the portfolio's best
+		// completed mapping, the rest of the search is wasted work. Checked
+		// only between blocks (oi > 0: the portfolio already screened the
+		// whole-graph bound before starting the job), and never after the
+		// final block, so a mapping that runs to completion always reports
+		// its real score.
+		if opt.incumbent != nil && oi > 0 {
+			committed := 0
+			for _, w := range used {
+				committed += w
+			}
+			if v, ok := opt.incumbent.prune(committed+floorSuffix[oi], opt.Seed, opt.incJob); ok {
+				opt.Obs.Counter("core.map.incumbent_aborts").Inc()
+				m.Stats.CompileTime = time.Since(start)
+				return nil, fmt.Errorf("core: mapping %q onto %s: %w: committed %d + floor %d words vs incumbent %d",
+					g.Name, grid.Name, ErrPrunedByIncumbent, committed, floorSuffix[oi], v)
+			}
 		}
 		block := g.Blocks[bbid]
 		// Every still-unmapped block will occupy at least one word (a

@@ -115,8 +115,9 @@ func TestMapPortfolioObs(t *testing.T) {
 	}
 	ok := rec.Counter("core.portfolio.seeds_ok").Value()
 	failed := rec.Counter("core.portfolio.seeds_failed").Value()
-	if ok+failed != 3 {
-		t.Errorf("seed outcomes %d ok + %d failed, want 3 total", ok, failed)
+	pruned := rec.Counter("core.portfolio.seeds_pruned").Value()
+	if ok+failed+pruned != 3 {
+		t.Errorf("seed outcomes %d ok + %d failed + %d pruned, want 3 total", ok, failed, pruned)
 	}
 	if got := rec.Counter("core.map.calls").Value(); got != 3 {
 		t.Errorf("core.map.calls = %d, want 3", got)

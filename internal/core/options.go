@@ -134,6 +134,17 @@ type Options struct {
 	// reusable search scratch state; Map otherwise borrows one from a
 	// process-wide pool. An arena must never be shared concurrently.
 	arena *mapperArena
+
+	// incumbent, when set (by MapPortfolio on non-exhaustive backend jobs),
+	// lets Map abandon the search between basic blocks once the committed
+	// words plus the remaining blocks' floors provably cannot beat the best
+	// mapping another portfolio job already completed (ErrPrunedByIncumbent).
+	// Plain Map calls never set it, so single-seed mappings — including the
+	// 140 golden checksums — are untouched. incJob is this job's index in
+	// the portfolio job list, the final component of the deterministic
+	// (words, seed, job) tie-break.
+	incumbent *incumbent
+	incJob    int
 }
 
 // ctxErr reports the pending cancellation, if any.

@@ -89,6 +89,21 @@ type PortfolioOptions struct {
 	// job on the first seed, since extra seeds only perturb their warm
 	// start, not their search space.
 	Backends []Backend
+
+	// PrimaryIsWords declares that Objective's Score.Primary equals
+	// Mapping.TotalWords() (true for power.PortfolioObjective). It enables
+	// incumbent-sharing pruning for custom objectives: jobs whose
+	// admissible word lower bound is strictly worse than a completed
+	// competitor's are abandoned. Equality never prunes under a custom
+	// objective — its Secondary could still win the tie — so the winner is
+	// unchanged. Declaring this for an objective whose Primary is not the
+	// word count voids the winner-invariance guarantee.
+	PrimaryIsWords bool
+	// NoIncumbent disables incumbent-sharing pruning entirely, restoring
+	// the run-every-seed-to-completion behavior (useful for benchmarking
+	// the pruning itself and for per-seed quality studies where losing
+	// seeds' scores matter).
+	NoIncumbent bool
 }
 
 // portfolioJob is one (backend, seed) cell of the race.
@@ -116,6 +131,14 @@ func (o *PortfolioOptions) jobs(base int64) []portfolioJob {
 	return jobs
 }
 
+// SeedList returns the concrete seed set the portfolio will explore for a
+// given base seed — the explicit Seeds when set, otherwise NumSeeds
+// consecutive seeds from base. Exposed so callers that key derived state on
+// a portfolio run (e.g. the mapping cache) can name the exact seed set.
+func (o *PortfolioOptions) SeedList(base int64) []int64 {
+	return append([]int64(nil), o.seeds(base)...)
+}
+
 func (o *PortfolioOptions) seeds(base int64) []int64 {
 	if len(o.Seeds) > 0 {
 		return o.Seeds
@@ -141,6 +164,11 @@ type PortfolioReport struct {
 	// failure otherwise.
 	OK  bool
 	Err string
+	// Pruned marks a job abandoned by incumbent sharing: its admissible
+	// word lower bound proved it could not beat a completed competitor.
+	// Which losing jobs get pruned (vs. completing as losers) depends on
+	// scheduling; the winner does not.
+	Pruned bool
 	// Score is the objective's verdict (valid only when OK).
 	Score Score
 	// Wall is the seed's mapping wall time (zero when the seed was
@@ -175,6 +203,7 @@ func (r *PortfolioResult) RenderReports() string {
 		rows[i] = trace.PortfolioRow{
 			Seed:   rep.Seed,
 			OK:     rep.OK,
+			Pruned: rep.Pruned,
 			Wall:   rep.Wall,
 			Winner: rep.Winner,
 		}
@@ -219,6 +248,16 @@ func (r *PortfolioResult) RenderReports() string {
 // the outcome (unless PortfolioOptions.Stop cancels the run early — see
 // its doc).
 //
+// When the objective's Primary is the total word count (the default, or a
+// custom objective declared via PortfolioOptions.PrimaryIsWords), workers
+// share the best completed result through an atomic incumbent and abandon
+// jobs whose admissible word lower bound (WordLowerBound, rechecked
+// between basic blocks as words commit) provably cannot beat it. Pruning
+// is winner-invariant — only jobs that would lose the deterministic
+// tie-break anyway are cut — but the per-job reports are not: which losing
+// jobs show as pruned instead of completing depends on scheduling. Set
+// PortfolioOptions.NoIncumbent to run every job to completion.
+//
 // Cancelling ctx stops workers promptly: seeds not yet started are
 // skipped, and running mappers abort at their next basic-block boundary.
 // When at least one seed has already succeeded, the best of the completed
@@ -236,6 +275,17 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 	objective := popt.Objective
 	if objective == nil {
 		objective = WordsObjective
+	}
+	// Incumbent sharing: enabled when the objective's Primary is known to
+	// be the total word count — always true for the default objective, and
+	// declared via PrimaryIsWords for custom ones. Tie-break pruning (see
+	// incumbent.prune) additionally needs the objective to have no
+	// Secondary, i.e. the default.
+	var inc *incumbent
+	var lbound int
+	if !popt.NoIncumbent && (popt.Objective == nil || popt.PrimaryIsWords) {
+		inc = &incumbent{tiePrune: popt.Objective == nil}
+		lbound = WordLowerBound(g, grid)
 	}
 	workers := popt.Workers
 	if workers <= 0 {
@@ -270,10 +320,27 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 					opt.Obs.Counter("core.portfolio.seeds_skipped").Inc()
 					continue
 				}
+				// Pre-job screen: the whole-graph word floor is already
+				// hopeless against a completed competitor. This is the only
+				// pruning the exact backend sees — consulting the incumbent
+				// mid-search would make its anytime node budget cut a
+				// timing-dependent subtree and break its determinism.
+				if inc != nil {
+					if v, ok := inc.prune(lbound, job.seed, i); ok {
+						rep.Pruned = true
+						rep.Err = fmt.Sprintf("pruned: word floor %d cannot beat incumbent %d", lbound, v)
+						opt.Obs.Counter("core.portfolio.seeds_pruned").Inc()
+						continue
+					}
+				}
 				seedOpt := opt
 				seedOpt.Seed = job.seed
 				seedOpt.ctx = ctx
 				seedOpt.arena = ar
+				if inc != nil && !job.backend.Capabilities().Exhaustive {
+					seedOpt.incumbent = inc
+					seedOpt.incJob = i
+				}
 				// One span per job, on its own tid, so concurrent jobs
 				// render as parallel tracks in the trace viewer.
 				var seedSpan obs.Span
@@ -289,12 +356,20 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 				}
 				if err != nil {
 					rep.Err = err.Error()
-					opt.Obs.Counter("core.portfolio.seeds_failed").Inc()
+					if errors.Is(err, ErrPrunedByIncumbent) {
+						rep.Pruned = true
+						opt.Obs.Counter("core.portfolio.seeds_pruned").Inc()
+					} else {
+						opt.Obs.Counter("core.portfolio.seeds_failed").Inc()
+					}
 					continue
 				}
 				rep.OK = true
 				rep.Score = objective(m)
 				mappings[i] = m
+				if inc != nil {
+					inc.publish(m.TotalWords(), job.seed, i)
+				}
 				opt.Obs.Counter("core.portfolio.seeds_ok").Inc()
 				if popt.Stop != nil {
 					stopMu.Lock()

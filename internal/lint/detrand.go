@@ -12,17 +12,21 @@ import (
 // global math/rand functions and bare time.Now reads are flagged;
 // rand.New(rand.NewSource(seed)) and time.Now used purely for
 // time.Since durations (the CompileTime stat) are fine. Inside
-// internal/sim, os.Getenv is additionally flagged — cycle counts must
-// be a function of the bitstream and the memory image, never of the
-// process environment. internal/core keeps its environment exemption:
-// the exact backend reads its node-budget escape hatch from the
-// environment on purpose.
+// internal/sim and internal/mapcache, os.Getenv is additionally
+// flagged — cycle counts must be a function of the bitstream and the
+// memory image, and cache keys must be a function of the request
+// content, never of the process environment. internal/core keeps its
+// environment exemption: the exact backend reads its node-budget
+// escape hatch from the environment on purpose (and the cache key
+// folds that knob in through Options.Fingerprint, where it is
+// resolved explicitly rather than read ambiently).
 var detrandRule = &Rule{
 	Name: "detrand",
-	Doc:  "nondeterminism source inside the deterministic mapper or simulator",
+	Doc:  "nondeterminism source inside the deterministic mapper, simulator or mapping cache",
 	Applies: func(pkgPath string) bool {
 		return strings.HasSuffix(pkgPath, "internal/core") ||
-			strings.HasSuffix(pkgPath, "internal/sim")
+			strings.HasSuffix(pkgPath, "internal/sim") ||
+			strings.HasSuffix(pkgPath, "internal/mapcache")
 	},
 	Check: checkDetrand,
 }
@@ -38,8 +42,12 @@ var seededRandCtors = map[string]bool{
 func checkDetrand(p *Package) []Finding {
 	where := "mapper"
 	inSim := strings.HasSuffix(p.Path, "internal/sim")
-	if inSim {
+	inCache := strings.HasSuffix(p.Path, "internal/mapcache")
+	switch {
+	case inSim:
 		where = "simulator"
+	case inCache:
+		where = "mapping cache"
 	}
 	var out []Finding
 	for _, f := range p.Files {
@@ -77,14 +85,15 @@ func checkDetrand(p *Package) []Finding {
 					})
 				}
 			case "os":
-				// Environment reads are only banned in the simulator;
+				// Environment reads are banned in the simulator and in the
+				// mapping cache (keys must be pure functions of the request);
 				// core's exact backend deliberately honors an env knob.
-				if inSim && (sel.Sel.Name == "Getenv" || sel.Sel.Name == "LookupEnv") {
+				if (inSim || inCache) && (sel.Sel.Name == "Getenv" || sel.Sel.Name == "LookupEnv") {
 					out = append(out, Finding{
 						Pos:  p.Fset.Position(call.Pos()),
 						Rule: "detrand",
-						Msg: "environment read in the deterministic simulator; " +
-							"thread configuration through sim options instead",
+						Msg: "environment read in the deterministic " + where + "; " +
+							"thread configuration through options instead",
 					})
 				}
 			}

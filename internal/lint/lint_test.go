@@ -258,6 +258,64 @@ func Budget() string { return os.Getenv("CGRA_EXACT_NODE_BUDGET") }
 	}
 }
 
+// TestDetrandMapcacheFlagsEnvAndClock pins the mapping-cache scope: a
+// content-addressed cache key must be a pure function of the request, so
+// internal/mapcache is held to the simulator's rules — no wall clock, no
+// global rand, no environment reads.
+func TestDetrandMapcacheFlagsEnvAndClock(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/mapcache", `package mapcache
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func BadKey(base string) string {
+	if os.Getenv("MAPCACHE_SALT") != "" { // flagged: environment steers the key
+		base += os.Getenv("MAPCACHE_SALT") // flagged: environment read
+	}
+	return fmt.Sprintf("%s@%d", base, time.Now().UnixNano()) // flagged: wall clock in a key
+}
+
+func GoodTiming() time.Duration {
+	start := time.Now() // ok: only feeds time.Since
+	return time.Since(start)
+}
+`)
+	got := rulesOf(fs)
+	if got["detrand"] != 3 {
+		t.Errorf("want 3 detrand findings, got %d:\n%v", got["detrand"], fs)
+	}
+	for _, f := range fs {
+		if f.Rule == "detrand" && !strings.Contains(f.Msg, "mapping cache") {
+			t.Errorf("mapcache finding not attributed to the mapping cache: %v", f)
+		}
+	}
+}
+
+// TestMaprangeFlagsKeyFromMapIteration pins that building a cache key by
+// iterating a map unsorted is caught: strings.Builder writes inside a map
+// range are order-dependent output.
+func TestMaprangeFlagsKeyFromMapIteration(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/mapcache", `package mapcache
+
+import "strings"
+
+func BadKey(parts map[string]string) string {
+	var b strings.Builder
+	for k, v := range parts {
+		b.WriteString(k) // flagged: key bytes depend on map order
+		b.WriteString(v) // flagged
+	}
+	return b.String()
+}
+`)
+	if got := rulesOf(fs); got["maprange"] != 2 {
+		t.Errorf("want 2 maprange findings, got %d:\n%v", got["maprange"], fs)
+	}
+}
+
 func TestErrcheckFlagsDroppedModuleErrors(t *testing.T) {
 	fs := analyzeSrc(t, "repro/internal/demo", `package demo
 

@@ -1,0 +1,467 @@
+package mapcache_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/cdfg"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/mapcache"
+	"repro/internal/obs"
+	"repro/internal/verify"
+)
+
+func kernelGraph(t *testing.T, name string) *cdfg.Graph {
+	t.Helper()
+	for _, k := range kernels.All() {
+		if k.Name == name {
+			return k.Build()
+		}
+	}
+	t.Fatalf("no kernel %q", name)
+	return nil
+}
+
+func mapCompute(t *testing.T, g *cdfg.Graph, grid *arch.Grid, opt core.Options, calls *atomic.Int64) func() (mapcache.Computed, error) {
+	t.Helper()
+	return func() (mapcache.Computed, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		m, err := core.Map(g, grid, opt)
+		if err != nil {
+			return mapcache.Computed{}, err
+		}
+		return mapcache.Computed{Mapping: m, Seed: opt.Seed, Backend: "heuristic"}, nil
+	}
+}
+
+// TestCacheColdWarm: the second identical request is a memory hit with a
+// byte-identical image and the same metadata, and the compute callback runs
+// exactly once.
+func TestCacheColdWarm(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	g := kernelGraph(t, "FIR")
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	c := mapcache.New(mapcache.Config{Obs: rec})
+	opt := core.DefaultOptions(core.FlowCAB)
+	var calls atomic.Int64
+
+	req := mapcache.Request{Graph: g, Grid: grid, Opt: opt}
+	cold, err := c.GetOrStore(req, mapCompute(t, g, grid, opt, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Hit || cold.Source != "compute" {
+		t.Fatalf("cold request reported hit=%v source=%q", cold.Hit, cold.Source)
+	}
+	warm, err := c.GetOrStore(req, mapCompute(t, g, grid, opt, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Hit || warm.Source != "memory" {
+		t.Fatalf("warm request reported hit=%v source=%q", warm.Hit, warm.Source)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls.Load())
+	}
+	if !bytes.Equal(cold.Image, warm.Image) {
+		t.Fatal("warm image differs from cold image")
+	}
+	if cold.Meta.Words != warm.Meta.Words || cold.Meta.Words == 0 {
+		t.Fatalf("meta mismatch: cold %d words, warm %d", cold.Meta.Words, warm.Meta.Words)
+	}
+	if r := verify.CheckProgram(warm.Program); r.Err() != nil {
+		t.Fatalf("warm program fails verification: %v", r.Err())
+	}
+	if got := rec.Counter("mapcache.hit").Value(); got != 1 {
+		t.Fatalf("mapcache.hit = %d, want 1", got)
+	}
+	if got := rec.Counter("mapcache.miss").Value(); got != 1 {
+		t.Fatalf("mapcache.miss = %d, want 1", got)
+	}
+}
+
+// TestCacheIsomorphicHit: a relabeled isomorphic graph hits the entry
+// stored for the original, and the returned program — rebuilt through the
+// block-permutation shuffle — verifies against the relabeled graph.
+func TestCacheIsomorphicHit(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	c := mapcache.New(mapcache.Config{Obs: rec})
+	opt := core.DefaultOptions(core.FlowCAB)
+
+	// A representative subset: full kernels with branches and memory traffic
+	// plus generated graphs with larger block counts (mapping every kernel
+	// under FlowCAB takes minutes; invariance of the hash itself is covered
+	// exhaustively by TestCanonicalHashInvariance).
+	all := testGraphs(t)
+	subset := map[string]*cdfg.Graph{
+		"FIR": all["FIR"], "FFT": all["FFT"], "DCFilter": all["DCFilter"],
+		"gen-1": all["gen-1"], "gen-4": all["gen-4"], "gen-6": all["gen-6"],
+	}
+	for name, g := range subset {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			var calls atomic.Int64
+			req := mapcache.Request{Graph: g, Grid: grid, Opt: opt}
+			cold, err := c.GetOrStore(req, mapCompute(t, g, grid, opt, &calls))
+			if err != nil {
+				t.Skipf("kernel does not map on this grid: %v", err)
+			}
+			pg := permuteGraph(t, g, rand.New(rand.NewSource(7)))
+			preq := mapcache.Request{Graph: pg, Grid: grid, Opt: opt}
+			warm, err := c.GetOrStore(preq, mapCompute(t, pg, grid, opt, &calls))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !warm.Hit {
+				t.Fatal("isomorphic relabeling missed the cache")
+			}
+			if calls.Load() != 1 {
+				t.Fatalf("compute ran %d times, want 1", calls.Load())
+			}
+			// The materialized program must be exactly as legal as the one
+			// the mapper produced (some generated graphs exceed CM capacity
+			// under default options; the cache must not make that worse).
+			if verify.CheckProgram(cold.Program).Err() == nil {
+				if r := verify.CheckProgram(warm.Program); r.Err() != nil {
+					t.Fatalf("materialized program fails verification against the relabeled graph: %v", r.Err())
+				}
+			}
+			if warm.Meta.Words != cold.Meta.Words {
+				t.Fatalf("hit reports %d words, original %d", warm.Meta.Words, cold.Meta.Words)
+			}
+		})
+	}
+}
+
+// TestCacheKeySeparation: changing any key ingredient — options, seeds,
+// backends, objective — misses instead of returning the old entry.
+func TestCacheKeySeparation(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	g := kernelGraph(t, "FIR")
+	c := mapcache.New(mapcache.Config{})
+	var calls atomic.Int64
+
+	base := mapcache.Request{Graph: g, Grid: grid, Opt: core.DefaultOptions(core.FlowCAB)}
+	seeded := core.DefaultOptions(core.FlowCAB)
+	seeded.Seed = 3
+	variants := []mapcache.Request{
+		base,
+		{Graph: g, Grid: grid, Opt: seeded},
+		{Graph: g, Grid: grid, Opt: base.Opt, Seeds: []int64{0, 1}},
+		{Graph: g, Grid: grid, Opt: base.Opt, Backends: []string{"exact"}},
+		{Graph: g, Grid: grid, Opt: base.Opt, Objective: "power"},
+	}
+	for i, req := range variants {
+		if _, err := c.GetOrStore(req, mapCompute(t, g, grid, req.Opt, &calls)); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+	}
+	if calls.Load() != int64(len(variants)) {
+		t.Fatalf("compute ran %d times for %d distinct keys", calls.Load(), len(variants))
+	}
+	if c.Len() != len(variants) {
+		t.Fatalf("cache holds %d entries, want %d", c.Len(), len(variants))
+	}
+}
+
+// TestCacheProfiledBypass: a request carrying a runtime profile cannot be
+// keyed soundly and must bypass the cache entirely.
+func TestCacheProfiledBypass(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	g := kernelGraph(t, "FIR")
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	c := mapcache.New(mapcache.Config{Obs: rec})
+	opt := core.DefaultOptions(core.FlowCAB)
+	opt.Profile = map[cdfg.BBID]int{0: 1}
+	var calls atomic.Int64
+	req := mapcache.Request{Graph: g, Grid: grid, Opt: opt}
+	for i := 0; i < 2; i++ {
+		res, err := c.GetOrStore(req, mapCompute(t, g, grid, core.Options{}, &calls))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hit || res.Source != "bypass" {
+			t.Fatalf("call %d: hit=%v source=%q, want bypass", i, res.Hit, res.Source)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compute ran %d times, want 2 (no caching)", calls.Load())
+	}
+	if got := rec.Counter("mapcache.bypass").Value(); got != 2 {
+		t.Fatalf("mapcache.bypass = %d, want 2", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("bypass stored %d entries", c.Len())
+	}
+}
+
+// TestCacheLRUEviction: capacity is enforced per shard with the oldest
+// entry evicted first.
+func TestCacheLRUEviction(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	g := kernelGraph(t, "FIR")
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	// One shard, two slots: the third distinct key must evict the first.
+	c := mapcache.New(mapcache.Config{Capacity: 2, Shards: 1, Obs: rec})
+	var calls atomic.Int64
+	var reqs []mapcache.Request
+	for seed := int64(1); seed <= 3; seed++ {
+		o := core.DefaultOptions(core.FlowCAB)
+		o.Seed = seed
+		reqs = append(reqs, mapcache.Request{Graph: g, Grid: grid, Opt: o})
+	}
+	for _, req := range reqs {
+		if _, err := c.GetOrStore(req, mapCompute(t, g, grid, req.Opt, &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries after eviction, want 2", c.Len())
+	}
+	if got := rec.Counter("mapcache.evict").Value(); got != 1 {
+		t.Fatalf("mapcache.evict = %d, want 1", got)
+	}
+	// Seed 1 was evicted: requesting it again recomputes.
+	before := calls.Load()
+	if _, err := c.GetOrStore(reqs[0], mapCompute(t, g, grid, reqs[0].Opt, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != before+1 {
+		t.Fatal("evicted entry was served from cache")
+	}
+}
+
+// TestCacheSingleflight: concurrent identical requests coalesce onto one
+// compute; every caller gets a byte-identical image.
+func TestCacheSingleflight(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	g := kernelGraph(t, "FFT")
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	c := mapcache.New(mapcache.Config{Obs: rec})
+	opt := core.DefaultOptions(core.FlowCAB)
+	var calls atomic.Int64
+	req := mapcache.Request{Graph: g, Grid: grid, Opt: opt}
+
+	const workers = 8
+	results := make([]mapcache.Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.GetOrStore(req, mapCompute(t, g, grid, opt, &calls))
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i].Image, results[0].Image) {
+			t.Fatalf("worker %d image differs", i)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times under concurrency, want 1", calls.Load())
+	}
+}
+
+// TestCacheDiskRoundTrip: a fresh Cache over the same directory serves the
+// entry from disk — re-verified — with a byte-identical image.
+func TestCacheDiskRoundTrip(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	g := kernelGraph(t, "FIR")
+	dir := t.TempDir()
+	opt := core.DefaultOptions(core.FlowCAB)
+	var calls atomic.Int64
+
+	c1 := mapcache.New(mapcache.Config{Dir: dir})
+	req := mapcache.Request{Graph: g, Grid: grid, Opt: opt}
+	cold, err := c1.GetOrStore(req, mapCompute(t, g, grid, opt, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := mapcache.EntryFiles(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("EntryFiles = %v, %v; want exactly one entry", files, err)
+	}
+
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	c2 := mapcache.New(mapcache.Config{Dir: dir, Obs: rec})
+	warm, err := c2.GetOrStore(req, mapCompute(t, g, grid, opt, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Hit || warm.Source != "disk" {
+		t.Fatalf("second process reported hit=%v source=%q, want disk hit", warm.Hit, warm.Source)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("compute ran %d times across processes, want 1", calls.Load())
+	}
+	if !bytes.Equal(cold.Image, warm.Image) {
+		t.Fatal("disk round-trip changed the image")
+	}
+	if got := rec.Counter("mapcache.disk_hit").Value(); got != 1 {
+		t.Fatalf("mapcache.disk_hit = %d, want 1", got)
+	}
+	// The disk hit is promoted to memory: a third request stays in-process.
+	third, err := c2.GetOrStore(req, mapCompute(t, g, grid, opt, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Source != "memory" {
+		t.Fatalf("post-promotion source = %q, want memory", third.Source)
+	}
+}
+
+// TestCacheDiskCorruption: flipping raw bytes on disk breaks the envelope
+// checksum; the entry is rejected and recomputed, never served.
+func TestCacheDiskCorruption(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	g := kernelGraph(t, "FIR")
+	dir := t.TempDir()
+	opt := core.DefaultOptions(core.FlowCAB)
+	var calls atomic.Int64
+
+	c1 := mapcache.New(mapcache.Config{Dir: dir})
+	req := mapcache.Request{Graph: g, Grid: grid, Opt: opt}
+	if _, err := c1.GetOrStore(req, mapCompute(t, g, grid, opt, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := mapcache.EntryFiles(dir)
+	if len(files) != 1 {
+		t.Fatalf("want one entry file, got %d", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	c2 := mapcache.New(mapcache.Config{Dir: dir, Obs: rec})
+	res, err := c2.GetOrStore(req, mapCompute(t, g, grid, opt, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatal("corrupted disk entry was served as a hit")
+	}
+	if got := rec.Counter("mapcache.disk_reject").Value(); got != 1 {
+		t.Fatalf("mapcache.disk_reject = %d, want 1", got)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compute ran %d times, want 2 (recompute after corruption)", calls.Load())
+	}
+}
+
+// TestCacheDiskPoisonVerifyGate: RewriteEntry produces a checksummed but
+// wrong entry — the digest passes, so only the verify gate stands between
+// the poison and the caller. It must fire.
+func TestCacheDiskPoisonVerifyGate(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	g := kernelGraph(t, "DCFilter")
+	dir := t.TempDir()
+	opt := core.DefaultOptions(core.FlowCAB)
+	var calls atomic.Int64
+
+	c1 := mapcache.New(mapcache.Config{Dir: dir})
+	req := mapcache.Request{Graph: g, Grid: grid, Opt: opt}
+	if _, err := c1.GetOrStore(req, mapCompute(t, g, grid, opt, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := mapcache.EntryFiles(dir)
+	if len(files) != 1 {
+		t.Fatalf("want one entry file, got %d", len(files))
+	}
+	// Zero every instruction word: the image still parses (header, lengths
+	// and checksum all valid) but the program no longer implements g.
+	if err := mapcache.RewriteEntry(files[0], func(image []byte) []byte {
+		out := append([]byte(nil), image...)
+		for i := len(out) - 8; i >= 16; i -= 8 {
+			for j := 0; j < 8; j++ {
+				out[i+j] = 0
+			}
+		}
+		return out
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	c2 := mapcache.New(mapcache.Config{Dir: dir, Obs: rec})
+	res, err := c2.GetOrStore(req, mapCompute(t, g, grid, opt, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatal("poisoned disk entry passed the verify gate")
+	}
+	if got := rec.Counter("mapcache.disk_reject").Value(); got != 1 {
+		t.Fatalf("mapcache.disk_reject = %d, want 1", got)
+	}
+	if r := verify.CheckProgram(res.Program); r.Err() != nil {
+		t.Fatalf("recomputed program fails verification: %v", r.Err())
+	}
+}
+
+// TestCacheDiskWrongKey: a valid entry file renamed onto another key's path
+// fails the embedded-key check and is rejected.
+func TestCacheDiskWrongKey(t *testing.T) {
+	grid := arch.MustGrid(arch.HOM32)
+	gA := kernelGraph(t, "FIR")
+	gB := kernelGraph(t, "FFT")
+	dir := t.TempDir()
+	opt := core.DefaultOptions(core.FlowCAB)
+	var calls atomic.Int64
+
+	c1 := mapcache.New(mapcache.Config{Dir: dir})
+	if _, err := c1.GetOrStore(mapcache.Request{Graph: gA, Grid: grid, Opt: opt}, mapCompute(t, gA, grid, opt, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.GetOrStore(mapcache.Request{Graph: gB, Grid: grid, Opt: opt}, mapCompute(t, gB, grid, opt, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := mapcache.EntryFiles(dir)
+	if len(files) != 2 {
+		t.Fatalf("want two entry files, got %d", len(files))
+	}
+	// Swap the two files: each now sits at the other's content address.
+	tmp := filepath.Join(dir, "swap")
+	if err := os.Rename(files[0], tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(files[1], files[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, files[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := obs.NewRecorder(obs.NewRegistry(), nil)
+	c2 := mapcache.New(mapcache.Config{Dir: dir, Obs: rec})
+	res, err := c2.GetOrStore(mapcache.Request{Graph: gA, Grid: grid, Opt: opt}, mapCompute(t, gA, grid, opt, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit {
+		t.Fatal("entry with mismatched embedded key was served")
+	}
+	if got := rec.Counter("mapcache.disk_reject").Value(); got != 1 {
+		t.Fatalf("mapcache.disk_reject = %d, want 1", got)
+	}
+}

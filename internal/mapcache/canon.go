@@ -1,0 +1,549 @@
+// Package mapcache implements a content-addressed cache for compiled CGRA
+// mappings: an isomorphism-invariant canonical form + hash for cdfg graphs
+// (canon.go), a two-tier store — in-memory sharded LRU with singleflight
+// deduplication plus an optional verified on-disk tier (cache.go, disk.go)
+// — keyed by canonical graph hash × mapper options × grid structure ×
+// portfolio description.
+//
+// Determinism rules: nothing in the key or the canonical form may consult
+// wall-clock time, map iteration order, or process-local identities — the
+// detrand/maprange analyzers in internal/lint enforce this package-wide.
+package mapcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/cdfg"
+)
+
+// Canon is the canonical form of a graph: a deterministic relabeling that
+// is invariant under node renumbering, commutative-operand order, block
+// reordering and graph/block renaming, so structurally identical graphs
+// produce identical Text (and therefore identical Sum).
+type Canon struct {
+	// Text is the canonical graph rendered through cdfg.MarshalText.
+	Text []byte
+	// Sum is sha256(Text) — the cache's content address.
+	Sum [sha256.Size]byte
+	// BlockPerm maps each original BBID to its canonical block index.
+	// Cached bitstream images are stored in canonical block order and
+	// permuted back through this on every hit.
+	BlockPerm []int
+}
+
+// HashHex returns the content address as a hex string.
+func (c *Canon) HashHex() string { return fmt.Sprintf("%x", c.Sum) }
+
+// fnv1a is a deterministic accumulator-style hash (the same construction
+// the exact backend's nogood cache uses): value semantics, no allocation.
+type fnv1a uint64
+
+const fnvOffset fnv1a = 14695981039346656037
+const fnvPrime fnv1a = 1099511628211
+
+func (h fnv1a) u64(v uint64) fnv1a {
+	for i := 0; i < 8; i++ {
+		h ^= fnv1a(v & 0xff)
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func (h fnv1a) i(v int) fnv1a { return h.u64(uint64(int64(v))) }
+
+func (h fnv1a) str(s string) fnv1a {
+	h = h.i(len(s))
+	for i := 0; i < len(s); i++ {
+		h ^= fnv1a(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Canonicalize computes the canonical form of g. The graph must be
+// well-formed in the cdfg.Verify sense; malformed inputs produce an error,
+// never a panic.
+//
+// The canonical form keeps exactly the information the mapper and the
+// interpreter consume — opcodes, constant values, symbol names, dataflow
+// edges (with commutative operands unordered), the relative order of
+// memory operations (stores are barriers; loads between two stores
+// commute), liveout bindings, branches and successor edges — and forgets
+// everything else: node numbering, block numbering and names, the graph
+// name, and the textual order of independent nodes.
+func Canonicalize(g *cdfg.Graph) (*Canon, error) {
+	if g == nil || len(g.Blocks) == 0 {
+		return nil, fmt.Errorf("mapcache: cannot canonicalize an empty graph")
+	}
+	if g.Entry < 0 || int(g.Entry) >= len(g.Blocks) {
+		return nil, fmt.Errorf("mapcache: entry block %d out of range", g.Entry)
+	}
+	nodeOrder := make([][]cdfg.NodeID, len(g.Blocks))
+	blockSig := make([]uint64, len(g.Blocks))
+	for i, b := range g.Blocks {
+		ord, err := canonNodeOrder(b)
+		if err != nil {
+			return nil, fmt.Errorf("mapcache: block %d: %w", i, err)
+		}
+		nodeOrder[i] = ord
+		blockSig[i] = blockContentSig(b, ord)
+	}
+
+	// Canonical block order: DFS preorder from the entry following Succs
+	// in their semantic (taken, not-taken) order — a pure function of the
+	// control-flow structure, independent of block numbering. Unreachable
+	// blocks follow, rooted smallest content signature first (their
+	// relative order falls back to input order only when two unreachable
+	// roots have identical content — such twins render identically anyway).
+	visited := make([]bool, len(g.Blocks))
+	order := make([]cdfg.BBID, 0, len(g.Blocks))
+	var dfs func(bb cdfg.BBID)
+	dfs = func(bb cdfg.BBID) {
+		if bb < 0 || int(bb) >= len(g.Blocks) || visited[bb] {
+			return
+		}
+		visited[bb] = true
+		order = append(order, bb)
+		for _, s := range g.Blocks[bb].Succs {
+			dfs(s)
+		}
+	}
+	dfs(g.Entry)
+	for {
+		best := -1
+		for i := range g.Blocks {
+			if visited[i] {
+				continue
+			}
+			if best < 0 || blockSig[i] < blockSig[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		dfs(cdfg.BBID(best))
+	}
+
+	perm := make([]int, len(g.Blocks))
+	for ci, bb := range order {
+		perm[bb] = ci
+	}
+
+	ng := &cdfg.Graph{Blocks: make([]*cdfg.BasicBlock, len(order))}
+	for ci, obb := range order {
+		ob := g.Blocks[obb]
+		ord := nodeOrder[obb]
+		newID := make([]cdfg.NodeID, len(ob.Nodes))
+		for ni, oid := range ord {
+			newID[oid] = cdfg.NodeID(ni)
+		}
+		nb := &cdfg.BasicBlock{
+			ID:     cdfg.BBID(ci),
+			Name:   fmt.Sprintf("b%d", ci),
+			Branch: cdfg.None,
+		}
+		for ni, oid := range ord {
+			on := ob.Nodes[oid]
+			nn := &cdfg.Node{ID: cdfg.NodeID(ni), Op: on.Op, Val: on.Val, Sym: on.Sym}
+			if len(on.Args) > 0 {
+				nn.Args = make([]cdfg.NodeID, len(on.Args))
+				for ai, a := range on.Args {
+					nn.Args[ai] = newID[a]
+				}
+				if on.Op.IsCommutative() && len(nn.Args) == 2 && nn.Args[0] > nn.Args[1] {
+					nn.Args[0], nn.Args[1] = nn.Args[1], nn.Args[0]
+				}
+			}
+			nb.Nodes = append(nb.Nodes, nn)
+		}
+		if len(ob.LiveOut) > 0 {
+			nb.LiveOut = make(map[string]cdfg.NodeID, len(ob.LiveOut))
+			for _, s := range ob.LiveOutSyms() {
+				nb.LiveOut[s] = newID[ob.LiveOut[s]]
+			}
+		}
+		if ob.Branch != cdfg.None {
+			nb.Branch = newID[ob.Branch]
+		}
+		if len(ob.Succs) > 0 {
+			nb.Succs = make([]cdfg.BBID, len(ob.Succs))
+			for si, s := range ob.Succs {
+				nb.Succs[si] = cdfg.BBID(perm[s])
+			}
+		}
+		ng.Blocks[ci] = nb
+	}
+	text, err := ng.MarshalText()
+	if err != nil {
+		return nil, fmt.Errorf("mapcache: render canonical form: %w", err)
+	}
+	return &Canon{Text: text, Sum: sha256.Sum256(text), BlockPerm: perm}, nil
+}
+
+// canonNodeOrder computes the canonical emission order of one block's
+// nodes (canonical position → original NodeID) by Weisfeiler-Lehman-style
+// signature refinement followed by a greedy smallest-signature topological
+// emission.
+//
+// The dependency relation is dataflow args plus the implicit memory
+// ordering the interpreter's in-order evaluation implies: a load depends
+// on the previous store, a store depends on the previous store and every
+// load since it. Loads between two stores carry no mutual edge — they
+// commute, and the canonical order is free to reorder them.
+//
+// Signatures are refined in both directions (operands and consumers, with
+// operand positions for non-commutative ops) until the partition of nodes
+// into equal-signature classes stops growing. Refinement-equal nodes are
+// NOT necessarily interchangeable (Weisfeiler-Lehman equivalence is weaker
+// than automorphism), so ties are never broken by original index: the
+// emission branches on every tied candidate set and keeps the branch
+// whose completed rendering is smallest (see emitSearch). The search is
+// budgeted; a block symmetric enough to exhaust the budget returns an
+// error and the cache bypasses the request instead of risking an
+// unstable hash.
+func canonNodeOrder(b *cdfg.BasicBlock) ([]cdfg.NodeID, error) {
+	n := len(b.Nodes)
+	if n == 0 {
+		return nil, nil
+	}
+	deps := make([][]edge, n)
+	cons := make([][]edge, n)
+	addDep := func(to, from, port int) {
+		deps[to] = append(deps[to], edge{from, port})
+		cons[from] = append(cons[from], edge{to, port})
+	}
+	for i, nd := range b.Nodes {
+		if nd == nil {
+			return nil, fmt.Errorf("nil node %d", i)
+		}
+		for ai, a := range nd.Args {
+			if a < 0 || int(a) >= n {
+				return nil, fmt.Errorf("node %d arg %d out of range", i, a)
+			}
+			port := ai
+			if nd.Op.IsCommutative() {
+				port = -1
+			}
+			addDep(i, int(a), port)
+		}
+	}
+	lastStore := -1
+	var loads []int
+	for i, nd := range b.Nodes {
+		switch nd.Op {
+		case cdfg.OpLoad:
+			if lastStore >= 0 {
+				addDep(i, lastStore, -2)
+			}
+			loads = append(loads, i)
+		case cdfg.OpStore:
+			if lastStore >= 0 {
+				addDep(i, lastStore, -2)
+			}
+			for _, l := range loads {
+				addDep(i, l, -2)
+			}
+			lastStore = i
+			loads = loads[:0]
+		}
+	}
+
+	// Role anchors: liveout bindings (by symbol name) and the branch node
+	// are observable block outputs; they seed the refinement with the
+	// downstream context the pure dataflow shape does not carry.
+	role := make([]fnv1a, n)
+	for i := range role {
+		role[i] = fnvOffset
+	}
+	for _, s := range b.LiveOutSyms() {
+		id := b.LiveOut[s]
+		if id < 0 || int(id) >= n {
+			return nil, fmt.Errorf("liveout %q node %d out of range", s, id)
+		}
+		role[id] = role[id].str("lo").str(s)
+	}
+	if b.Branch != cdfg.None {
+		if b.Branch < 0 || int(b.Branch) >= n {
+			return nil, fmt.Errorf("branch node %d out of range", b.Branch)
+		}
+		role[b.Branch] = role[b.Branch].str("br")
+	}
+
+	sig := make([]uint64, n)
+	for i, nd := range b.Nodes {
+		h := fnvOffset.i(int(nd.Op))
+		if nd.Op == cdfg.OpConst {
+			h = h.i(int(nd.Val))
+		}
+		if nd.Op == cdfg.OpSym {
+			h = h.str(nd.Sym)
+		}
+		sig[i] = uint64(h.u64(uint64(role[i])))
+	}
+
+	tmp := make([]uint64, n)
+	var buf []uint64
+	distinct := countDistinct(sig)
+	for round := 0; round < n; round++ {
+		for i, nd := range b.Nodes {
+			h := fnvOffset.u64(sig[i])
+			if nd.Op.IsCommutative() && len(nd.Args) == 2 {
+				a0, a1 := sig[nd.Args[0]], sig[nd.Args[1]]
+				if a0 > a1 {
+					a0, a1 = a1, a0
+				}
+				h = h.u64(a0).u64(a1)
+			} else {
+				for _, a := range nd.Args {
+					h = h.u64(sig[a])
+				}
+			}
+			buf = buf[:0]
+			for _, e := range deps[i] {
+				if e.port == -2 {
+					buf = append(buf, sig[e.node])
+				}
+			}
+			h = foldSorted(h.str("m"), buf)
+			buf = buf[:0]
+			for _, e := range cons[i] {
+				buf = append(buf, uint64(fnvOffset.u64(sig[e.node]).i(e.port)))
+			}
+			h = foldSorted(h.str("c"), buf)
+			tmp[i] = uint64(h)
+		}
+		copy(sig, tmp)
+		d := countDistinct(sig)
+		if d == distinct {
+			break
+		}
+		distinct = d
+	}
+
+	// Emission: among ready nodes (all dataflow and memory predecessors
+	// emitted), pick the smallest signature; ties branch (emitSearch).
+	indeg := make([]int, n)
+	seen := make(map[int]bool)
+	for i := range deps {
+		clear(seen)
+		for _, e := range deps[i] {
+			if !seen[e.node] {
+				seen[e.node] = true
+				indeg[i]++
+			}
+		}
+	}
+	ready := make([]int, 0, n)
+	for i := range indeg {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	es := &emitSearch{b: b, cons: cons, sig: sig, budget: emitBudget}
+	order, _, err := es.run(indeg, ready, make([]bool, n), make([]cdfg.NodeID, 0, n))
+	return order, err
+}
+
+// edge is one dependency arc between two nodes of a block.
+type edge struct {
+	node int
+	port int // arg position; -1 commutative operand, -2 memory order
+}
+
+// emitBudget bounds the number of tie branches one block's canonical
+// emission may explore. Real kernels never branch (refinement fully
+// discriminates their nodes); the budget exists so adversarially
+// symmetric graphs degrade into an explicit error — which the cache
+// turns into a bypass — instead of unbounded search.
+const emitBudget = 4096
+
+// emitSearch finds the canonical emission order. At every step the ready
+// node with the smallest refined signature is emitted next; when several
+// ready nodes share that smallest signature the refinement could not tell
+// them apart, but they are not necessarily interchangeable, so each
+// candidate is explored to completion and the branch whose finished
+// rendering compares smallest wins. Signatures are relabeling-invariant,
+// hence so are the candidate sets and the winning rendering — the
+// original node numbering never influences the result.
+type emitSearch struct {
+	b      *cdfg.BasicBlock
+	cons   [][]edge
+	sig    []uint64
+	budget int
+}
+
+func (es *emitSearch) run(indeg, ready []int, emitted []bool, order []cdfg.NodeID) ([]cdfg.NodeID, []byte, error) {
+	n := len(es.b.Nodes)
+	cands := make([]int, 0, 4)
+	for len(order) < n {
+		if len(ready) == 0 {
+			return nil, nil, fmt.Errorf("cyclic dependencies among %d nodes", n-len(order))
+		}
+		cands = cands[:0]
+		for ri, i := range ready {
+			switch {
+			case len(cands) == 0 || es.sig[i] < es.sig[ready[cands[0]]]:
+				cands = append(cands[:0], ri)
+			case es.sig[i] == es.sig[ready[cands[0]]]:
+				cands = append(cands, ri)
+			}
+		}
+		if len(cands) == 1 {
+			es.emit(cands[0], &ready, indeg, emitted, &order)
+			continue
+		}
+		var bestOrder []cdfg.NodeID
+		var bestRender []byte
+		for _, ri := range cands {
+			es.budget--
+			if es.budget < 0 {
+				return nil, nil, fmt.Errorf("canonical-order search budget exhausted on a %d-way signature tie", len(cands))
+			}
+			indeg2 := append([]int(nil), indeg...)
+			ready2 := append([]int(nil), ready...)
+			emitted2 := append([]bool(nil), emitted...)
+			order2 := append([]cdfg.NodeID(nil), order...)
+			es.emit(ri, &ready2, indeg2, emitted2, &order2)
+			o, r, err := es.run(indeg2, ready2, emitted2, order2)
+			if err != nil {
+				return nil, nil, err
+			}
+			if bestRender == nil || bytes.Compare(r, bestRender) < 0 {
+				bestOrder, bestRender = o, r
+			}
+		}
+		return bestOrder, bestRender, nil
+	}
+	return order, es.render(order), nil
+}
+
+// emit moves ready[ri] into the order and releases its consumers.
+func (es *emitSearch) emit(ri int, ready *[]int, indeg []int, emitted []bool, order *[]cdfg.NodeID) {
+	node := (*ready)[ri]
+	(*ready)[ri] = (*ready)[len(*ready)-1]
+	*ready = (*ready)[:len(*ready)-1]
+	*order = append(*order, cdfg.NodeID(node))
+	emitted[node] = true
+	released := map[int]bool{}
+	for _, e := range es.cons[node] {
+		if released[e.node] || emitted[e.node] {
+			continue
+		}
+		released[e.node] = true
+		indeg[e.node]--
+		if indeg[e.node] == 0 {
+			*ready = append(*ready, e.node)
+		}
+	}
+}
+
+// render serializes the block under a complete emission order into a
+// label-free byte string — exactly the information the canonical
+// MarshalText will carry for this block — so competing tie branches can
+// be compared bytewise.
+func (es *emitSearch) render(order []cdfg.NodeID) []byte {
+	b := es.b
+	pos := make([]int, len(b.Nodes))
+	for ni, oid := range order {
+		pos[oid] = ni
+	}
+	out := make([]byte, 0, 16*len(order))
+	app := func(v int) { out = binary.AppendVarint(out, int64(v)) }
+	for _, oid := range order {
+		nd := b.Nodes[oid]
+		app(int(nd.Op))
+		switch nd.Op {
+		case cdfg.OpConst:
+			app(int(nd.Val))
+		case cdfg.OpSym:
+			out = append(out, nd.Sym...)
+			out = append(out, 0)
+		}
+		if nd.Op.IsCommutative() && len(nd.Args) == 2 {
+			a0, a1 := pos[nd.Args[0]], pos[nd.Args[1]]
+			if a0 > a1 {
+				a0, a1 = a1, a0
+			}
+			app(a0)
+			app(a1)
+		} else {
+			for _, a := range nd.Args {
+				app(pos[a])
+			}
+		}
+	}
+	for _, s := range b.LiveOutSyms() {
+		out = append(out, s...)
+		out = append(out, 0)
+		app(pos[b.LiveOut[s]])
+	}
+	if b.Branch != cdfg.None {
+		app(pos[b.Branch])
+	}
+	return out
+}
+
+// blockContentSig folds a block's canonical rendering — nodes in canonical
+// order with canonical operand positions, liveouts, branch — into one
+// value, used to order unreachable blocks deterministically. Successor
+// targets are excluded (their canonical indices are not yet known when
+// this runs).
+func blockContentSig(b *cdfg.BasicBlock, ord []cdfg.NodeID) uint64 {
+	pos := make([]int, len(b.Nodes))
+	for ni, oid := range ord {
+		pos[oid] = ni
+	}
+	h := fnvOffset.i(len(b.Nodes))
+	for _, oid := range ord {
+		nd := b.Nodes[oid]
+		h = h.i(int(nd.Op))
+		switch nd.Op {
+		case cdfg.OpConst:
+			h = h.i(int(nd.Val))
+		case cdfg.OpSym:
+			h = h.str(nd.Sym)
+		}
+		if nd.Op.IsCommutative() && len(nd.Args) == 2 {
+			a0, a1 := pos[nd.Args[0]], pos[nd.Args[1]]
+			if a0 > a1 {
+				a0, a1 = a1, a0
+			}
+			h = h.i(a0).i(a1)
+		} else {
+			for _, a := range nd.Args {
+				h = h.i(pos[a])
+			}
+		}
+	}
+	for _, s := range b.LiveOutSyms() {
+		h = h.str(s).i(pos[b.LiveOut[s]])
+	}
+	if b.Branch != cdfg.None {
+		h = h.str("br").i(pos[b.Branch])
+	}
+	h = h.i(len(b.Succs))
+	return uint64(h)
+}
+
+func foldSorted(h fnv1a, vs []uint64) fnv1a {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	h = h.i(len(vs))
+	for _, v := range vs {
+		h = h.u64(v)
+	}
+	return h
+}
+
+func countDistinct(sig []uint64) int {
+	set := make(map[uint64]struct{}, len(sig))
+	for _, s := range sig {
+		set[s] = struct{}{}
+	}
+	return len(set)
+}

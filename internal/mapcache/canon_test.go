@@ -1,0 +1,284 @@
+package mapcache_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/kernels"
+	"repro/internal/mapcache"
+)
+
+// permuteGraph returns an isomorphic, semantically identical relabeling of
+// g: blocks are shuffled (IDs, order, names), each block's nodes are
+// renumbered along a random order that respects dataflow and the
+// interpreter's memory-op ordering (stores are barriers; loads between two
+// stores may swap), commutative operands are randomly swapped, and the
+// graph is renamed. Canonicalize must map every output of this back to the
+// same hash.
+func permuteGraph(t *testing.T, g *cdfg.Graph, rng *rand.Rand) *cdfg.Graph {
+	t.Helper()
+	ng := g.Clone()
+	ng.Name = fmt.Sprintf("perm-%d", rng.Int63())
+
+	// Random block permutation.
+	bp := rng.Perm(len(ng.Blocks)) // bp[old] = new position
+	blocks := make([]*cdfg.BasicBlock, len(ng.Blocks))
+	for old, b := range ng.Blocks {
+		b.ID = cdfg.BBID(bp[old])
+		b.Name = fmt.Sprintf("blk_%d_%d", bp[old], rng.Intn(1000))
+		for i, s := range b.Succs {
+			b.Succs[i] = cdfg.BBID(bp[s])
+		}
+		blocks[bp[old]] = b
+	}
+	ng.Blocks = blocks
+	ng.Entry = cdfg.BBID(bp[ng.Entry])
+
+	for _, b := range ng.Blocks {
+		permuteBlockNodes(b, rng)
+	}
+	if err := cdfg.Verify(ng); err != nil {
+		t.Fatalf("permuted graph is invalid (test bug): %v", err)
+	}
+	return ng
+}
+
+func permuteBlockNodes(b *cdfg.BasicBlock, rng *rand.Rand) {
+	n := len(b.Nodes)
+	if n == 0 {
+		return
+	}
+	// Dependencies: args plus the memory chain (load→prev store,
+	// store→prev store and loads since).
+	deps := make([][]int, n)
+	for i, nd := range b.Nodes {
+		for _, a := range nd.Args {
+			deps[i] = append(deps[i], int(a))
+		}
+	}
+	lastStore := -1
+	var loads []int
+	for i, nd := range b.Nodes {
+		switch nd.Op {
+		case cdfg.OpLoad:
+			if lastStore >= 0 {
+				deps[i] = append(deps[i], lastStore)
+			}
+			loads = append(loads, i)
+		case cdfg.OpStore:
+			if lastStore >= 0 {
+				deps[i] = append(deps[i], lastStore)
+			}
+			deps[i] = append(deps[i], loads...)
+			lastStore = i
+			loads = loads[:0]
+		}
+	}
+	indeg := make([]int, n)
+	succs := make([][]int, n)
+	for i, ds := range deps {
+		seen := map[int]bool{}
+		for _, d := range ds {
+			if !seen[d] {
+				seen[d] = true
+				indeg[i]++
+				succs[d] = append(succs[d], i)
+			}
+		}
+	}
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n) // new position -> old id
+	for len(ready) > 0 {
+		k := rng.Intn(len(ready))
+		picked := ready[k]
+		ready[k] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, picked)
+		for _, s := range succs[picked] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	newID := make([]cdfg.NodeID, n)
+	for pos, old := range order {
+		newID[old] = cdfg.NodeID(pos)
+	}
+	nodes := make([]*cdfg.Node, n)
+	for pos, old := range order {
+		nd := b.Nodes[old]
+		nd.ID = cdfg.NodeID(pos)
+		for ai, a := range nd.Args {
+			nd.Args[ai] = newID[a]
+		}
+		if nd.Op.IsCommutative() && len(nd.Args) == 2 && rng.Intn(2) == 1 {
+			nd.Args[0], nd.Args[1] = nd.Args[1], nd.Args[0]
+		}
+		nodes[pos] = nd
+	}
+	b.Nodes = nodes
+	for s, id := range b.LiveOut {
+		b.LiveOut[s] = newID[id]
+	}
+	if b.Branch != cdfg.None {
+		b.Branch = newID[b.Branch]
+	}
+}
+
+func testGraphs(t *testing.T) map[string]*cdfg.Graph {
+	t.Helper()
+	gs := map[string]*cdfg.Graph{}
+	for _, k := range kernels.All() {
+		gs[k.Name] = k.Build()
+	}
+	cfg := cdfg.DefaultGenConfig()
+	for seed := int64(1); seed <= 8; seed++ {
+		g, _ := cdfg.Generate(rand.New(rand.NewSource(seed)), cfg)
+		gs[fmt.Sprintf("gen-%d", seed)] = g
+	}
+	return gs
+}
+
+// TestCanonicalHashStable: canonicalizing twice, canonicalizing the
+// canonical text itself, and round-tripping the input through MarshalText
+// all yield the same hash, and the canonical text is a valid graph.
+func TestCanonicalHashStable(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			c1, err := mapcache.Canonicalize(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, err := mapcache.Canonicalize(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(c1.Text, c2.Text) {
+				t.Fatal("canonicalizing the same graph twice produced different texts")
+			}
+			cg, err := cdfg.UnmarshalText(c1.Text)
+			if err != nil {
+				t.Fatalf("canonical text is not a valid graph: %v", err)
+			}
+			c3, err := mapcache.Canonicalize(cg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c3.Sum != c1.Sum {
+				t.Fatal("canonical form is not a fixpoint: canonicalizing the canonical text changed the hash")
+			}
+			text, err := g.MarshalText()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rg, err := cdfg.UnmarshalText(text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c4, err := mapcache.Canonicalize(rg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c4.Sum != c1.Sum {
+				t.Fatal("MarshalText round-trip changed the canonical hash")
+			}
+		})
+	}
+}
+
+// TestCanonicalHashInvariance: random isomorphic relabelings — node
+// renumbering, commutative-operand swaps, block reordering, renames —
+// leave the canonical text (hence the hash) unchanged.
+func TestCanonicalHashInvariance(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			base, err := mapcache.Canonicalize(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				rng := rand.New(rand.NewSource(int64(1000 + trial)))
+				pg := permuteGraph(t, g, rng)
+				pc, err := mapcache.Canonicalize(pg)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if !bytes.Equal(pc.Text, base.Text) {
+					t.Fatalf("trial %d: isomorphic relabeling changed the canonical text:\n--- original\n%s\n--- permuted\n%s",
+						trial, base.Text, pc.Text)
+				}
+			}
+		})
+	}
+}
+
+// TestCanonicalHashInequality: structural surgery — bypassing a node,
+// eliminating dead nodes — must change the hash whenever it changes the
+// graph.
+func TestCanonicalHashInequality(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			base, err := mapcache.Canonicalize(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			origText, err := g.MarshalText()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mutated := 0
+			for bb := range g.Blocks {
+				for id := range g.Blocks[bb].Nodes {
+					mg := g.Clone()
+					if !cdfg.BypassNode(mg, cdfg.BBID(bb), cdfg.NodeID(id)) {
+						continue
+					}
+					if err := cdfg.Verify(mg); err != nil {
+						continue
+					}
+					// Bypassing a node nothing uses rewrites no edges;
+					// only count mutations that actually changed the graph.
+					if mt, err := mg.MarshalText(); err != nil || bytes.Equal(mt, origText) {
+						continue
+					}
+					mutated++
+					mc, err := mapcache.Canonicalize(mg)
+					if err != nil {
+						t.Fatalf("bypass b%d n%d: %v", bb, id, err)
+					}
+					if mc.Sum == base.Sum {
+						t.Fatalf("bypassing b%d n%d left the canonical hash unchanged", bb, id)
+					}
+					if mutated >= 5 {
+						break
+					}
+				}
+				if mutated >= 5 {
+					break
+				}
+			}
+			dg := g.Clone()
+			if cdfg.EliminateDeadNodes(dg) > 0 {
+				dc, err := mapcache.Canonicalize(dg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dc.Sum == base.Sum {
+					t.Fatal("dead-node elimination changed the graph but not the canonical hash")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package mapcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/verify"
+)
+
+// Disk-tier envelope format. All integers little-endian:
+//
+//	magic   "CGMC"                 4 bytes
+//	version u32                    (currently 1)
+//	keyLen  u32, key               full cache key (collision guard)
+//	canLen  u32, canonical text    byte-compared against the caller's
+//	imgLen  u32, image             bitstream in canonical block order
+//	metaLen u32, meta JSON         Meta
+//	digest  sha256                 over every preceding byte
+//
+// The digest catches torn/corrupted files cheaply; it is NOT the trust
+// boundary. Every disk hit is additionally rebuilt against the caller's
+// graph and re-verified by internal/verify before use (see Cache.lead), so
+// an adversarially consistent file — valid digest, wrong bitstream — is
+// still rejected and re-mapped, never trusted.
+const (
+	diskMagic   = "CGMC"
+	diskVersion = 1
+	diskSuffix  = ".mapcache"
+)
+
+func (c *Cache) diskPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(c.cfg.Dir, fmt.Sprintf("%x%s", sum[:16], diskSuffix))
+}
+
+func (c *Cache) storeDisk(e *entry) error {
+	if err := os.MkdirAll(c.cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	metaJSON, err := json.Marshal(e.meta)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(diskMagic)
+	w32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	wblob := func(b []byte) { w32(uint32(len(b))); buf.Write(b) }
+	w32(diskVersion)
+	wblob([]byte(e.key))
+	wblob(e.canonText)
+	wblob(e.image)
+	wblob(metaJSON)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+
+	path := c.diskPath(e.key)
+	tmp, err := os.CreateTemp(c.cfg.Dir, "tmp-*"+diskSuffix)
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Atomic publish: readers either see the old entry or the complete new
+	// one, never a torn write.
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// loadDisk reads and validates the disk entry for key. It returns the
+// entry on success; (nil, false) when no entry exists; (nil, true) when a
+// file exists but failed validation (corrupt, wrong key, stale canonical
+// text) — the caller counts that as a disk rejection and recomputes.
+func (c *Cache) loadDisk(key string, canon *Canon) (*entry, bool) {
+	data, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	e, err := parseEnvelope(data)
+	if err != nil {
+		return nil, true
+	}
+	if e.key != key || !bytes.Equal(e.canonText, canon.Text) {
+		return nil, true
+	}
+	return e, true
+}
+
+func parseEnvelope(data []byte) (*entry, error) {
+	if len(data) < len(diskMagic)+4+sha256.Size || string(data[:4]) != diskMagic {
+		return nil, fmt.Errorf("mapcache: bad disk entry header")
+	}
+	body, digest := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if sum := sha256.Sum256(body); !bytes.Equal(sum[:], digest) {
+		return nil, fmt.Errorf("mapcache: disk entry checksum mismatch")
+	}
+	r := bytes.NewReader(body[4:])
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil || version != diskVersion {
+		return nil, fmt.Errorf("mapcache: unsupported disk entry version")
+	}
+	blob := func() ([]byte, error) {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if int64(n) > int64(r.Len()) {
+			return nil, fmt.Errorf("mapcache: blob of %d bytes overruns entry", n)
+		}
+		b := make([]byte, n)
+		if n > 0 {
+			if _, err := io.ReadFull(r, b); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	}
+	key, err := blob()
+	if err != nil {
+		return nil, err
+	}
+	canonText, err := blob()
+	if err != nil {
+		return nil, err
+	}
+	image, err := blob()
+	if err != nil {
+		return nil, err
+	}
+	metaJSON, err := blob()
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("mapcache: %d trailing bytes in disk entry", r.Len())
+	}
+	e := &entry{key: string(key), canonText: canonText, image: image}
+	if err := json.Unmarshal(metaJSON, &e.meta); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// verifyDiskResult is the disk-tier trust gate: the rebuilt program must
+// implement the caller's graph according to the full static verifier.
+func verifyDiskResult(res *Result) error {
+	return verify.CheckProgram(res.Program).Err()
+}
+
+// EntryFiles lists the disk-tier entry files under dir in sorted order
+// (fault-injection and inspection support).
+func EntryFiles(dir string) ([]string, error) {
+	return filepath.Glob(filepath.Join(dir, "*"+diskSuffix))
+}
+
+// RewriteEntry rewrites the bitstream image of the disk entry at path
+// through mutate, recomputing the envelope digest so the result is a
+// well-formed entry with a poisoned payload. This exists for fault
+// injection: the oracle's MutateCacheEntry test uses it to prove the
+// re-verify gate rejects a consistent-looking but wrong disk entry.
+func RewriteEntry(path string, mutate func(image []byte) []byte) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	e, err := parseEnvelope(data)
+	if err != nil {
+		return err
+	}
+	e.image = mutate(e.image)
+	metaJSON, err := json.Marshal(e.meta)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(diskMagic)
+	w32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	wblob := func(b []byte) { w32(uint32(len(b))); buf.Write(b) }
+	w32(diskVersion)
+	wblob([]byte(e.key))
+	wblob(e.canonText)
+	wblob(e.image)
+	wblob(metaJSON)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}

@@ -1,0 +1,91 @@
+package mapcache_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdfg"
+	"repro/internal/kernels"
+	"repro/internal/mapcache"
+)
+
+// FuzzCanonicalHash drives the canonicalizer with arbitrary marshaled
+// graphs and checks the properties the mapping cache's correctness rests
+// on:
+//
+//  1. stability — canonicalizing the same graph twice, or its
+//     MarshalText round-trip, yields the same hash;
+//  2. isomorphism invariance — a semantically identical relabeling
+//     (block shuffle, node renumbering, commutative-operand swaps,
+//     renames) hashes identically;
+//  3. fixpoint — the canonical text is itself canonical: unmarshaling it
+//     and canonicalizing again reproduces the same text and hash.
+//
+// The checked-in corpus (testdata/fuzz) seeds the search with every
+// benchmark kernel and a spread of generated graphs.
+func FuzzCanonicalHash(f *testing.F) {
+	for _, k := range kernels.All() {
+		g := k.Build()
+		txt, err := g.MarshalText()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(txt, int64(1))
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		g, _ := cdfg.Generate(rand.New(rand.NewSource(seed)), cdfg.DefaultGenConfig())
+		txt, err := g.MarshalText()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(txt, seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, permSeed int64) {
+		g, err := cdfg.UnmarshalText(data)
+		if err != nil {
+			t.Skip() // not a well-formed graph
+		}
+		c1, err := mapcache.Canonicalize(g)
+		if err != nil {
+			t.Skip()
+		}
+		// Stability across a marshal round-trip.
+		txt, err := g.MarshalText()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		g2, err := cdfg.UnmarshalText(txt)
+		if err != nil {
+			t.Fatalf("round-trip unmarshal: %v", err)
+		}
+		c2, err := mapcache.Canonicalize(g2)
+		if err != nil {
+			t.Fatalf("round-trip canonicalize: %v", err)
+		}
+		if c1.Sum != c2.Sum {
+			t.Fatalf("hash not stable across MarshalText round-trip: %x vs %x", c1.Sum, c2.Sum)
+		}
+		// Isomorphism invariance under a random relabeling.
+		pg := permuteGraph(t, g, rand.New(rand.NewSource(permSeed)))
+		c3, err := mapcache.Canonicalize(pg)
+		if err != nil {
+			t.Fatalf("canonicalize permuted graph: %v", err)
+		}
+		if c1.Sum != c3.Sum {
+			t.Fatalf("hash not invariant under relabeling (seed %d): %x vs %x", permSeed, c1.Sum, c3.Sum)
+		}
+		// Fixpoint: the canonical form canonicalizes to itself.
+		cg, err := cdfg.UnmarshalText(c1.Text)
+		if err != nil {
+			t.Fatalf("canonical text does not unmarshal: %v", err)
+		}
+		c4, err := mapcache.Canonicalize(cg)
+		if err != nil {
+			t.Fatalf("canonicalize canonical text: %v", err)
+		}
+		if !bytes.Equal(c4.Text, c1.Text) || c4.Sum != c1.Sum {
+			t.Fatalf("canonical text is not a fixpoint of canonicalization")
+		}
+	})
+}

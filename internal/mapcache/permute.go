@@ -1,0 +1,135 @@
+package mapcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// permuteImage reorders the per-block data of a serialized asm image:
+// block i of the input lands at position dst[i] of the output. BlockLens,
+// BranchTiles and every tile's per-block segment move together; the header
+// and each tile's CRF are untouched, and instruction words are copied
+// verbatim (they carry no block references — branch targets live in the
+// graph, not the bitstream — which is what makes cached images reusable
+// across isomorphic graphs with different block numberings).
+//
+// This is a pure byte-level shuffle: no ISA decoding, so it stays cheap on
+// the warm-hit path. An identity dst returns a copy of the input.
+func permuteImage(data []byte, dst []int) ([]byte, error) {
+	blocks := len(dst)
+	inv := make([]int, blocks)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for i, d := range dst {
+		if d < 0 || d >= blocks || inv[d] != -1 {
+			return nil, fmt.Errorf("mapcache: dst is not a permutation of %d blocks", blocks)
+		}
+		inv[d] = i
+	}
+
+	r := bytes.NewReader(data)
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	magic := make([]byte, 4)
+	if _, err := r.Read(magic); err != nil || string(magic) != "CGRA" {
+		return nil, fmt.Errorf("mapcache: bad image magic")
+	}
+	var version, tiles, nblocks uint32
+	if err := rd(&version); err != nil {
+		return nil, err
+	}
+	if err := rd(&tiles); err != nil {
+		return nil, err
+	}
+	if err := rd(&nblocks); err != nil {
+		return nil, err
+	}
+	if int(nblocks) != blocks {
+		return nil, fmt.Errorf("mapcache: image has %d blocks, permutation has %d", nblocks, blocks)
+	}
+	if tiles > 4096 {
+		return nil, fmt.Errorf("mapcache: implausible image header (%d tiles)", tiles)
+	}
+
+	blockLens := make([]uint32, blocks)
+	branchTiles := make([]int32, blocks)
+	for i := range blockLens {
+		if err := rd(&blockLens[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range branchTiles {
+		if err := rd(&branchTiles[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	var out bytes.Buffer
+	out.Grow(len(data))
+	out.WriteString("CGRA")
+	w := func(v any) { _ = binary.Write(&out, binary.LittleEndian, v) }
+	w(version)
+	w(tiles)
+	w(nblocks)
+	for o := 0; o < blocks; o++ {
+		w(blockLens[inv[o]])
+	}
+	for o := 0; o < blocks; o++ {
+		w(branchTiles[inv[o]])
+	}
+
+	for t := uint32(0); t < tiles; t++ {
+		var crfLen uint32
+		if err := rd(&crfLen); err != nil {
+			return nil, err
+		}
+		if crfLen > 1<<16 {
+			return nil, fmt.Errorf("mapcache: implausible CRF length %d", crfLen)
+		}
+		w(crfLen)
+		crf := make([]byte, 4*int(crfLen))
+		if len(crf) > 0 {
+			if _, err := io.ReadFull(r, crf); err != nil {
+				return nil, err
+			}
+		}
+		out.Write(crf)
+		segs := make([][]byte, blocks)
+		for b := 0; b < blocks; b++ {
+			var words uint32
+			if err := rd(&words); err != nil {
+				return nil, err
+			}
+			if int64(words)*8 > int64(r.Len()) {
+				return nil, fmt.Errorf("mapcache: segment of %d words overruns image", words)
+			}
+			seg := make([]byte, 4+8*int(words))
+			binary.LittleEndian.PutUint32(seg, words)
+			if words > 0 {
+				if _, err := io.ReadFull(r, seg[4:]); err != nil {
+					return nil, err
+				}
+			}
+			segs[b] = seg
+		}
+		for o := 0; o < blocks; o++ {
+			out.Write(segs[inv[o]])
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("mapcache: %d trailing bytes in image", r.Len())
+	}
+	return out.Bytes(), nil
+}
+
+// isIdentity reports whether dst maps every block to itself.
+func isIdentity(dst []int) bool {
+	for i, d := range dst {
+		if i != d {
+			return false
+		}
+	}
+	return true
+}

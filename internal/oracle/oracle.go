@@ -12,6 +12,7 @@
 package oracle
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"reflect"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cdfg"
 	"repro/internal/core"
+	"repro/internal/mapcache"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/static"
@@ -154,6 +156,12 @@ const (
 	// behavior. Soundness is the analyzer's whole contract, so any
 	// contradiction is a bug.
 	StaticUnsound
+	// CacheStale: the mapping cache served a warm bitstream that is not
+	// byte-identical to the cold compile of the same request — the content
+	// address, the canonical form, or a cache tier returned the wrong
+	// entry. The cache's contract is byte-exact reuse, so any difference
+	// is a bug.
+	CacheStale
 )
 
 func (o Outcome) String() string {
@@ -176,6 +184,8 @@ func (o Outcome) String() string {
 		return "batch-diverged"
 	case StaticUnsound:
 		return "static-unsound"
+	case CacheStale:
+		return "cache-stale"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -183,7 +193,7 @@ func (o Outcome) String() string {
 // Bug reports whether the outcome indicates a correctness bug.
 func (o Outcome) Bug() bool {
 	return o == Diverged || o == Failed || o == Illegal || o == Inverted ||
-		o == BatchDiverged || o == StaticUnsound
+		o == BatchDiverged || o == StaticUnsound || o == CacheStale
 }
 
 // CellResult is the outcome of checking one graph in one cell.
@@ -241,6 +251,20 @@ type Pipeline struct {
 	// clean batch differential. Sweeps leave it on; it exists for tests
 	// that need the pre-analyzer pipeline.
 	SkipStatic bool
+	// CacheDir, when non-empty, adds the mapping-cache differential to
+	// every check: the cell's compiled program is pushed through a
+	// two-tier cache rooted there (cold), then requested again through a
+	// fresh cache over the same directory — forcing the disk tier, the
+	// tier an independent process would hit — and the two bitstreams must
+	// be byte-identical. Any difference is CacheStale.
+	CacheDir string
+	// MutateCacheEntry, when non-nil, corrupts the on-disk cache entries
+	// between the cold and warm passes (typically via
+	// mapcache.RewriteEntry). A corruption the envelope checksum catches,
+	// or one the re-verify gate rejects, forces a recompute and still
+	// passes; a legal-but-wrong bitstream that slips through surfaces as
+	// CacheStale. The fault-injection tests prove both classifications.
+	MutateCacheEntry func(dir string, g *cdfg.Graph, grid *arch.Grid) error
 }
 
 // defaultBatchLanes is the width of the batch differential every check
@@ -319,8 +343,50 @@ func (p *Pipeline) check(g *cdfg.Graph, mem cdfg.Memory, cell Cell, seed int64) 
 		r.Outcome, r.Err = outcome, err
 		return r
 	}
+	if outcome, err := p.checkCache(g, cell, seed, m, prog); err != nil {
+		r.Outcome, r.Err = outcome, err
+		return r
+	}
 	r.Outcome = Pass
 	return r
+}
+
+// checkCache is the mapping-cache differential a clean check is followed
+// by when CacheDir is set: store the cell's program cold, read it back
+// warm through a fresh cache instance (so the entry travels through the
+// disk tier and its verify gate), and require the two bitstreams to be
+// byte-identical. The compute callback hands back the already-compiled
+// program, so a recompute after a rejected entry is free and
+// by construction identical — only a wrong entry the tiers actually
+// serve can differ.
+func (p *Pipeline) checkCache(g *cdfg.Graph, cell Cell, seed int64, m *core.Mapping, prog *asm.Program) (Outcome, error) {
+	if p.CacheDir == "" {
+		return Pass, nil
+	}
+	opt := cell.Mode.Options()
+	opt.Seed = seed
+	grid := arch.MustGrid(cell.Config)
+	req := mapcache.Request{Graph: g, Grid: grid, Opt: opt}
+	compute := func() (mapcache.Computed, error) {
+		return mapcache.Computed{Mapping: m, Program: prog, Seed: seed, Backend: core.DefaultBackend().Name()}, nil
+	}
+	cold, err := mapcache.New(mapcache.Config{Dir: p.CacheDir, Obs: p.Obs}).GetOrStore(req, compute)
+	if err != nil {
+		return Failed, fmt.Errorf("oracle: cache cold pass: %w", err)
+	}
+	if p.MutateCacheEntry != nil {
+		if err := p.MutateCacheEntry(p.CacheDir, g, grid); err != nil {
+			return Failed, fmt.Errorf("oracle: mutate cache entry: %w", err)
+		}
+	}
+	warm, err := mapcache.New(mapcache.Config{Dir: p.CacheDir, Obs: p.Obs}).GetOrStore(req, compute)
+	if err != nil {
+		return Failed, fmt.Errorf("oracle: cache warm pass: %w", err)
+	}
+	if !bytes.Equal(cold.Image, warm.Image) {
+		return CacheStale, fmt.Errorf("oracle: warm cache bitstream (source %s) is not byte-identical to the cold compile", warm.Source)
+	}
+	return Pass, nil
 }
 
 // checkBatch is the batched-engine differential a clean verification is

@@ -118,6 +118,9 @@ type PortfolioRow struct {
 	// (a pure-heuristic portfolio) render without the backend column.
 	Backend string
 	OK      bool
+	// Pruned marks a job abandoned by incumbent sharing: a provable
+	// loser, not a mapper failure — it renders as its own result class.
+	Pruned bool
 	// Detail is the score of a successful seed or the failure reason.
 	Detail string
 	Wall   time.Duration
@@ -144,6 +147,9 @@ func Portfolio(title string, rows []PortfolioRow) string {
 		result, score, mark := "ok", r.Detail, ""
 		if !r.OK {
 			result, score = "fail", truncate(r.Detail, 60)
+			if r.Pruned {
+				result = "pruned"
+			}
 		}
 		if r.Winner {
 			mark = "<- winner"

@@ -42,9 +42,10 @@ func TestPortfolio(t *testing.T) {
 	rows := []PortfolioRow{
 		{Seed: 1, OK: true, Detail: "74/0.0053", Wall: 120 * time.Millisecond, Winner: true},
 		{Seed: 2, OK: false, Detail: strings.Repeat("x", 100), Wall: 80 * time.Millisecond},
+		{Seed: 3, OK: false, Pruned: true, Detail: "pruned by portfolio incumbent", Wall: 10 * time.Millisecond},
 	}
 	s := Portfolio("portfolio: 2 seeds", rows)
-	for _, want := range []string{"portfolio: 2 seeds", "<- winner", "74/0.0053", "fail", "..."} {
+	for _, want := range []string{"portfolio: 2 seeds", "<- winner", "74/0.0053", "fail", "...", "pruned"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("portfolio rendering misses %q:\n%s", want, s)
 		}

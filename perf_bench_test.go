@@ -10,6 +10,7 @@ import (
 	"repro/internal/cdfg"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/mapcache"
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/sim"
@@ -54,13 +55,18 @@ func BenchmarkCoreMap(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreMapPortfolio measures the production portfolio path —
+// incumbent-sharing pruning on, as every caller gets it. Workers is
+// pinned so the recorded numbers compare across machines with different
+// core counts, and so the Pruned/Unpruned pair below is an apples-to-
+// apples read of what pruning buys at the same parallelism.
 func BenchmarkCoreMapPortfolio(b *testing.B) {
 	for _, k := range kernels.All() {
 		k := k
 		g := k.Build()
 		b.Run(k.Name, func(b *testing.B) {
 			opt := core.DefaultOptions(core.FlowCAB)
-			popt := core.PortfolioOptions{NumSeeds: 4}
+			popt := core.PortfolioOptions{NumSeeds: 4, Workers: 4}
 			b.ReportAllocs()
 			warm(b, func() error {
 				_, err := core.MapPortfolio(context.Background(), g, perfGrid(), opt, popt)
@@ -297,6 +303,120 @@ func BenchmarkCoreMapObsOff(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPortfolioPruned / BenchmarkPortfolioUnpruned isolate what
+// incumbent-sharing pruning buys: the same 4-seed portfolio at the same
+// pinned parallelism, with pruning on (the default) and forced off via
+// NoIncumbent. Both produce byte-identical winners — pruning only aborts
+// seeds whose admissible lower bound already cannot beat the incumbent —
+// so the ns/op delta is pure wasted-search savings.
+func BenchmarkPortfolioPruned(b *testing.B)   { benchPortfolioPruning(b, false) }
+func BenchmarkPortfolioUnpruned(b *testing.B) { benchPortfolioPruning(b, true) }
+
+func benchPortfolioPruning(b *testing.B, noIncumbent bool) {
+	for _, k := range kernels.All() {
+		k := k
+		g := k.Build()
+		b.Run(k.Name, func(b *testing.B) {
+			opt := core.DefaultOptions(core.FlowCAB)
+			popt := core.PortfolioOptions{NumSeeds: 4, Workers: 4, NoIncumbent: noIncumbent}
+			b.ReportAllocs()
+			warm(b, func() error {
+				_, err := core.MapPortfolio(context.Background(), g, perfGrid(), opt, popt)
+				return err
+			})
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MapPortfolio(context.Background(), g, perfGrid(), opt, popt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMapCached measures the content-addressed mapping cache on the
+// heaviest kernel. cold is a full miss — canonicalize, map, assemble,
+// store — on a fresh cache every iteration; warm is the steady-state
+// memory-tier hit the cgrad repeat path is built around. The acceptance
+// bar is warm ≥ 100× faster than BenchmarkCoreMap/MatM.
+func BenchmarkMapCached(b *testing.B) {
+	k, err := kernels.ByName("MatM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := k.Build()
+	opt := core.DefaultOptions(core.FlowCAB)
+	req := mapcache.Request{Graph: g, Grid: perfGrid(), Opt: opt}
+	compute := func() (mapcache.Computed, error) {
+		m, err := core.Map(g, perfGrid(), opt)
+		if err != nil {
+			return mapcache.Computed{}, err
+		}
+		return mapcache.Computed{Mapping: m, Seed: opt.Seed, Backend: core.DefaultBackend().Name()}, nil
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		warm(b, func() error {
+			_, err := mapcache.New(mapcache.Config{Capacity: 8}).GetOrStore(req, compute)
+			return err
+		})
+		for i := 0; i < b.N; i++ {
+			res, err := mapcache.New(mapcache.Config{Capacity: 8}).GetOrStore(req, compute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Hit {
+				b.Fatal("cold iteration hit the cache")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := mapcache.New(mapcache.Config{Capacity: 8})
+		b.ReportAllocs()
+		warm(b, func() error { _, err := c.GetOrStore(req, compute); return err })
+		for i := 0; i < b.N; i++ {
+			res, err := c.GetOrStore(req, compute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Hit {
+				b.Fatal("warm iteration missed the cache")
+			}
+		}
+	})
+}
+
+// BenchmarkMapCachedObsOff pins the cache hit path with instrumentation
+// explicitly disabled: a nil recorder must not add a single allocation
+// over the same run's BenchmarkMapCached/warm. scripts/bench.sh compares
+// the pair within-run, like the CoreMapObsOff gate.
+func BenchmarkMapCachedObsOff(b *testing.B) {
+	k, err := kernels.ByName("MatM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := k.Build()
+	opt := core.DefaultOptions(core.FlowCAB)
+	opt.Obs = nil
+	req := mapcache.Request{Graph: g, Grid: perfGrid(), Opt: opt}
+	compute := func() (mapcache.Computed, error) {
+		m, err := core.Map(g, perfGrid(), opt)
+		if err != nil {
+			return mapcache.Computed{}, err
+		}
+		return mapcache.Computed{Mapping: m, Seed: opt.Seed, Backend: core.DefaultBackend().Name()}, nil
+	}
+	b.Run("warm", func(b *testing.B) {
+		c := mapcache.New(mapcache.Config{Capacity: 8, Obs: nil})
+		b.ReportAllocs()
+		warm(b, func() error { _, err := c.GetOrStore(req, compute); return err })
+		for i := 0; i < b.N; i++ {
+			if _, err := c.GetOrStore(req, compute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCoreMapObsOn measures the live-recorder cost: registry

@@ -32,7 +32,7 @@ raw="$(mktemp)"
 cur="$(mktemp)"
 trap 'rm -f "$raw" "$cur"' EXIT
 
-pattern='BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkSimRun|BenchmarkVerifyRun|BenchmarkOracleCheck|BenchmarkStaticAnalyze|BenchmarkStrip'
+pattern='BenchmarkCoreMap|BenchmarkCoreMapPortfolio|BenchmarkPortfolioPruned|BenchmarkPortfolioUnpruned|BenchmarkMapCached|BenchmarkSimRun|BenchmarkVerifyRun|BenchmarkOracleCheck|BenchmarkStaticAnalyze|BenchmarkStrip'
 echo "== go test -bench '$pattern' -run NONE . $*"
 go test -bench "$pattern" -benchmem -run NONE . "$@" | tee "$raw"
 
@@ -130,6 +130,12 @@ function check(name, metric, b, c, tol,   delta, mark) {
     # of the plain BenchmarkCoreMap.
     alt = name
     if (sub(/^BenchmarkCoreMapObsOff\//, "BenchmarkCoreMap/", alt) && (alt in cur_allocs)) {
+        check(name " (obs-off)", "allocs/op", cur_allocs[alt], field($0, "allocs_per_op"), tol_obsoff)
+    }
+    # Same gate for the mapping-cache hit path: a cache built with a nil
+    # recorder must not allocate more per warm hit than the plain run.
+    alt = name
+    if (sub(/^BenchmarkMapCachedObsOff\//, "BenchmarkMapCached/", alt) && (alt in cur_allocs)) {
         check(name " (obs-off)", "allocs/op", cur_allocs[alt], field($0, "allocs_per_op"), tol_obsoff)
     }
     if (!(name in base_ns)) {

@@ -42,6 +42,49 @@ if grep -q '(0 saved)' "$strip_out"; then
 fi
 rm -f "$strip_out"
 
+# Mapping-cache round-trip smoke: compile the heaviest kernel twice
+# through an on-disk cache directory. The first run must compute and
+# store; the second run (a fresh process, so the memory tier is empty)
+# must come back from the disk tier — which re-verifies the entry before
+# serving it — with a byte-identical bitstream, proven by the printed
+# image checksum.
+echo "== mapping-cache round-trip smoke (cgramap -cachedir, MatM HOM64/cab)"
+cache_dir="$(mktemp -d)"
+cold_out="$(mktemp)"
+warm_out="$(mktemp)"
+trap 'rm -rf "$cache_dir" "$cold_out" "$warm_out"' EXIT
+go run ./cmd/cgramap -kernel MatM -config HOM64 -flow cab -cachedir "$cache_dir" > "$cold_out"
+go run ./cmd/cgramap -kernel MatM -config HOM64 -flow cab -cachedir "$cache_dir" > "$warm_out"
+grep '^cache:' "$cold_out" "$warm_out" | sed 's/^/  /'
+if ! grep -q '^cache: compute$' "$cold_out"; then
+    echo "cache gate: first run did not report a cache miss (cache: compute)" >&2
+    exit 1
+fi
+if ! grep -q '^cache: disk$' "$warm_out"; then
+    echo "cache gate: second run did not hit the disk tier (cache: disk)" >&2
+    exit 1
+fi
+cold_sha="$(grep '^image sha256 ' "$cold_out")"
+warm_sha="$(grep '^image sha256 ' "$warm_out")"
+if [ -z "$cold_sha" ] || [ "$cold_sha" != "$warm_sha" ]; then
+    echo "cache gate: warm bitstream differs from cold compile" >&2
+    echo "  cold: $cold_sha" >&2
+    echo "  warm: $warm_sha" >&2
+    exit 1
+fi
+echo "  $cold_sha (cold == warm)"
+rm -rf "$cache_dir" "$cold_out" "$warm_out"
+
+# Portfolio-pruning golden gate: incumbent sharing must be invisible in
+# the output. The invariance test pins the winning seed and bitstream
+# bytes with pruning on vs off at several worker counts, and the golden
+# checksum test pins the single-map path against the 140 checked-in
+# cells in testdata/golden_mappings.txt (-short subset here; the full
+# matrix runs with the suite below).
+echo "== portfolio-pruning golden gate (winner invariance + golden checksums)"
+go test -run TestPortfolioPruningWinnerInvariant ./internal/core
+go test -short -run TestGoldenMappingChecksums .
+
 # Bounded differential-oracle smoke: a small seeded sweep of generated
 # CDFGs across every mode × CM config, run up front so a mapper or
 # simulator divergence fails fast, before the full suite (which runs the
@@ -85,10 +128,13 @@ go test -race -timeout 45m $short ./...
 # for timing (hence the huge ns tolerance — it only catches order-of-
 # magnitude blowups); the allocation columns are the real gate. They are
 # not exact at 1x either: a GC can evict the mapper's arena pool between
-# iterations and the rebuild costs ~2-3x the steady-state allocs/op, so
-# the tolerance sits above that noise floor. The regression this guards
-# against — losing arena reuse or plan memoization — is 4-6 orders of
-# magnitude, far past any tolerance here.
+# iterations and the rebuild costs ~2-3x the steady-state allocs/op — and
+# the portfolio benchmarks run 4 jobs per op, so a single iteration can
+# rebuild up to 4 pools against a steady-state baseline that amortized
+# them all (observed up to ~3x on the smallest kernel). The tolerance
+# sits above that noise floor. The regression this guards against —
+# losing arena reuse or plan memoization — is 4-6 orders of magnitude,
+# far past any tolerance here.
 # The obs-off gate (BenchmarkCoreMapObsOff vs the same run's
 # BenchmarkCoreMap) is exact on full bench runs, but at one iteration it
 # rides the same arena-pool GC noise, so it gets the same widened
@@ -96,8 +142,8 @@ go test -race -timeout 45m $short ./...
 echo "== bench gate (scripts/bench.sh -compare, 1 iteration)"
 BENCH_TOLERANCE_PCT=400 \
 BENCH_BYTES_TOLERANCE_PCT=400 \
-BENCH_ALLOCS_TOLERANCE_PCT=${BENCH_ALLOCS_TOLERANCE_PCT:-250} \
-BENCH_OBSOFF_ALLOCS_TOLERANCE_PCT=${BENCH_OBSOFF_ALLOCS_TOLERANCE_PCT:-250} \
+BENCH_ALLOCS_TOLERANCE_PCT=${BENCH_ALLOCS_TOLERANCE_PCT:-350} \
+BENCH_OBSOFF_ALLOCS_TOLERANCE_PCT=${BENCH_OBSOFF_ALLOCS_TOLERANCE_PCT:-350} \
     scripts/bench.sh -compare -benchtime=1x
 
 # Batch-engine throughput gate: the pre-decoded SoA engine only earns
