@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint verify-kernels test test-short test-race bench bench-baseline bench-compare metrics ci
+.PHONY: build vet lint verify-kernels test test-short test-race bench bench-baseline bench-compare metrics serve ci
 
 build:
 	$(GO) build ./...
@@ -50,7 +50,8 @@ bench-compare:
 	./scripts/bench.sh -compare
 
 # Instrumentation artifacts: map and simulate FIR with -metrics/-events,
-# validate the counter JSONL with cgrametrics, and leave
+# validate the counter JSONL and the span structure with cgrametrics,
+# print the cgratrace phase-attribution report, and leave
 # out/metrics.json (counters) + out/events.trace (Chrome trace_event
 # timeline, load in Perfetto or chrome://tracing) behind.
 metrics:
@@ -58,6 +59,14 @@ metrics:
 	$(GO) run ./cmd/cgrasim -kernel FIR -config HET1 -flow cab \
 		-metrics out/metrics.json -events out/events.trace
 	$(GO) run ./cmd/cgrametrics out/metrics.json
+	$(GO) run ./cmd/cgrametrics -events out/events.trace
+	$(GO) run ./cmd/cgratrace out/events.trace
+
+# Live telemetry demo: the full evaluation with /metrics, /healthz,
+# /events and /debug/pprof served on :9090 while it runs (scrape with
+# `go run ./cmd/cgrametrics -scrape http://127.0.0.1:9090/metrics`).
+serve:
+	$(GO) run ./cmd/cgrabench -serve 127.0.0.1:9090 -linger 30s
 
 ci:
 	./scripts/ci.sh

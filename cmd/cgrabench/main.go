@@ -16,14 +16,24 @@
 // -cpuprofile/-memprofile write runtime/pprof profiles covering the whole
 // evaluation, for inspecting the mapper and simulator hot paths under a
 // realistic workload.
+//
+// -serve ADDR exposes live telemetry while the evaluation runs:
+// /metrics (Prometheus text over the instrumentation registry),
+// /healthz and /readyz, /events (live JSONL span feed) and
+// /debug/pprof. The bound address is announced on stderr as
+// "telemetry: serving on http://HOST:PORT" so scripts can scrape an
+// ephemeral :0 port; -linger keeps the server (and process) up that
+// long after the run so a scraper always finds the final counters.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -31,6 +41,7 @@ import (
 	"repro/internal/mapcache"
 	"repro/internal/obs"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -46,9 +57,32 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
 	events := flag.String("events", "", "write a Chrome trace_event timeline to this file")
+	serve := flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /events, /debug/pprof) on this address for the duration of the run (host:port; :0 picks a port, announced on stderr)")
+	linger := flag.Duration("linger", 0, "with -serve, keep the telemetry server up this long after the run so scrapers catch the final state")
 	flag.Parse()
 
 	fr := obs.FileOutputs(*metrics, *events)
+	var tsrv *telemetry.Server
+	if *serve != "" {
+		var serr error
+		// The closure probes the final fr: ServeArtifacts reassigns it to
+		// the recorder that feeds both the files and the live ring.
+		fr, tsrv, serr = telemetry.ServeArtifacts(*serve, *metrics, *events, telemetry.Check{
+			Name: "recorder",
+			Probe: func() error {
+				if !fr.Recorder.Enabled() {
+					return errors.New("recorder disabled")
+				}
+				return nil
+			},
+		})
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "cgrabench:", serr)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s\n", tsrv.Addr())
+	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile, fr.Recorder)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgrabench:", err)
@@ -65,6 +99,9 @@ func main() {
 		// The whole evaluation is a few hundred distinct cells; a large
 		// capacity keeps every one resident for the duration of the run.
 		r.Cache = mapcache.New(mapcache.Config{Capacity: 1024, Dir: *cachedir, Obs: fr.Recorder})
+	}
+	if tsrv != nil {
+		tsrv.SetReady(true)
 	}
 	err = run(os.Stdout, r, *fig, *table, *gap)
 	if err == nil && fr.Recorder.Enabled() {
@@ -86,6 +123,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgrabench:", err)
 		os.Exit(1)
+	}
+	if tsrv != nil && *linger > 0 {
+		// Hold the endpoints open after a clean run so an external scraper
+		// polling the stderr announcement always reaches the final state.
+		fmt.Fprintf(os.Stderr, "telemetry: lingering %s before exit\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func writeFile(t *testing.T, name, content string) string {
@@ -66,5 +69,145 @@ func TestRunMissingFile(t *testing.T) {
 	var sb strings.Builder
 	if err := run(&sb, []string{filepath.Join(t.TempDir(), "absent.json")}); err == nil {
 		t.Fatal("run accepted a missing file")
+	}
+}
+
+func TestRunEventsValidFile(t *testing.T) {
+	path := writeFile(t, "e.jsonl", strings.Join([]string{
+		`{"name":"core.map","ph":"B","ts":0,"pid":1,"tid":0,"id":1}`,
+		`{"name":"core.map","ph":"E","ts":10,"dur":10,"pid":1,"tid":0,"id":1}`,
+		`{"name":"block","cat":"sim","ph":"X","ts":0,"dur":4,"pid":2,"tid":0}`,
+		``,
+	}, "\n"))
+	var sb strings.Builder
+	if err := runEvents(&sb, []string{path}); err != nil {
+		t.Fatalf("runEvents: %v", err)
+	}
+	if !strings.Contains(sb.String(), "3 events, 2 root spans, span structure OK") {
+		t.Fatalf("summary line wrong:\n%s", sb.String())
+	}
+}
+
+// TestRunEventsRejectsMalformed pins the span-structure gate: unpaired
+// spans, negative durations and backwards timestamps all fail with
+// context.
+func TestRunEventsRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"begin without end",
+			`{"name":"a","ph":"B","ts":0,"pid":1,"tid":0,"id":1}` + "\n",
+			"no matching end"},
+		{"end without begin",
+			`{"name":"a","ph":"E","ts":1,"dur":1,"pid":1,"tid":0,"id":1}` + "\n",
+			"without a begin"},
+		{"id mismatch",
+			`{"name":"a","ph":"B","ts":0,"pid":1,"tid":0,"id":1}` + "\n" +
+				`{"name":"a","ph":"E","ts":1,"dur":1,"pid":1,"tid":0,"id":2}` + "\n",
+			"does not match open span"},
+		{"negative duration",
+			`{"name":"a","ph":"B","ts":0,"pid":1,"tid":0,"id":1}` + "\n" +
+				`{"name":"a","ph":"E","ts":1,"dur":-4,"pid":1,"tid":0,"id":1}` + "\n",
+			"negative duration"},
+		{"negative complete duration",
+			`{"name":"x","ph":"X","ts":0,"dur":-1,"pid":1,"tid":0}` + "\n",
+			"negative duration"},
+		{"backwards timestamps",
+			`{"name":"a","ph":"i","ts":9,"pid":1,"tid":0}` + "\n" +
+				`{"name":"b","ph":"i","ts":3,"pid":1,"tid":0}` + "\n",
+			"goes backwards"},
+		{"not an event", `{"name":"a","kind":"counter","value":1}` + "\n", "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeFile(t, "e.jsonl", tc.content)
+			var sb strings.Builder
+			err := runEvents(&sb, []string{path})
+			if err == nil {
+				t.Fatalf("runEvents accepted %s file", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q misses %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Sim-track timestamps restart per run; only wall-clock tracks are held
+// to monotone order.
+func TestRunEventsAllowsSimTimestampRestart(t *testing.T) {
+	path := writeFile(t, "e.jsonl", strings.Join([]string{
+		`{"name":"block","cat":"sim","ph":"X","ts":100,"dur":4,"pid":2,"tid":0}`,
+		`{"name":"block","cat":"sim","ph":"X","ts":0,"dur":4,"pid":2,"tid":0}`,
+		``,
+	}, "\n"))
+	var sb strings.Builder
+	if err := runEvents(&sb, []string{path}); err != nil {
+		t.Fatalf("sim cycle restart rejected: %v", err)
+	}
+}
+
+func TestValidatePrometheus(t *testing.T) {
+	good := []byte(strings.Join([]string{
+		"# TYPE core_map_calls counter",
+		"core_map_calls 7",
+		"# TYPE core_map_us summary",
+		`core_map_us{quantile="0.5"} 120`,
+		"core_map_us_sum 900",
+		"core_map_us_count 3",
+		"",
+	}, "\n"))
+	n, err := validatePrometheus(good)
+	if err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("counted %d samples, want 4", n)
+	}
+	bad := []struct{ name, body string }{
+		{"no value", "core_map_calls\n"},
+		{"bad value", "core_map_calls seven\n"},
+		{"bad name", "core.map.calls 7\n"},
+		{"duplicate type", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"unknown type", "# TYPE a meter\na 1\n"},
+	}
+	for _, tc := range bad {
+		if _, err := validatePrometheus([]byte(tc.body)); err == nil {
+			t.Errorf("validatePrometheus accepted %s: %q", tc.name, tc.body)
+		}
+	}
+}
+
+// TestScrapeAndGet exercises the HTTP probe modes against a live
+// telemetry server end to end.
+func TestScrapeAndGet(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("core.map.calls").Add(7)
+	reg.Histogram("core.map.us").Observe(120)
+	srv, err := telemetry.Start(telemetry.Config{Addr: "127.0.0.1:0", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetReady(true)
+
+	var sb strings.Builder
+	if err := runScrape(&sb, srv.URL("/metrics")); err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	if !strings.Contains(sb.String(), "core_map_calls 7") {
+		t.Fatalf("scrape output:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if err := runGet(&sb, srv.URL("/healthz")); err != nil {
+		t.Fatalf("get healthz: %v", err)
+	}
+	if !strings.Contains(sb.String(), "ok") {
+		t.Fatalf("healthz body:\n%s", sb.String())
+	}
+	// A 404 must fail the probe.
+	if err := runGet(&sb, srv.URL("/no-such-endpoint")); err == nil {
+		t.Fatal("get accepted a 404")
 	}
 }

@@ -15,6 +15,11 @@
 // batched struct-of-arrays engine with B identical input lanes; every
 // lane is cross-checked against the verified run and the per-input
 // throughput is reported.
+//
+// -serve ADDR exposes live telemetry (/metrics, /healthz, /readyz,
+// /events, /debug/pprof) while the run executes; the bound address is
+// announced on stderr and -linger keeps the server up after the run
+// for late scrapers.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/verify"
 )
@@ -81,9 +87,33 @@ func main() {
 	flag.StringVar(&o.cachedir, "cachedir", "", "on-disk mapping-cache directory (implies -cache; entries are re-verified before use)")
 	metrics := flag.String("metrics", "", "write instrumentation counters as JSONL to this file")
 	events := flag.String("events", "", "write a Chrome trace_event timeline to this file")
+	serve := flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /events, /debug/pprof) on this address for the duration of the run (host:port; :0 picks a port, announced on stderr)")
+	linger := flag.Duration("linger", 0, "with -serve, keep the telemetry server up this long after the run so scrapers catch the final state")
 	flag.Parse()
 
 	fr := obs.FileOutputs(*metrics, *events)
+	var tsrv *telemetry.Server
+	if *serve != "" {
+		var serr error
+		// The closure probes the final fr: ServeArtifacts reassigns it to
+		// the recorder that feeds both the files and the live ring.
+		fr, tsrv, serr = telemetry.ServeArtifacts(*serve, *metrics, *events, telemetry.Check{
+			Name: "recorder",
+			Probe: func() error {
+				if !fr.Recorder.Enabled() {
+					return errors.New("recorder disabled")
+				}
+				return nil
+			},
+		})
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "cgrasim:", serr)
+			os.Exit(1)
+		}
+		defer tsrv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s\n", tsrv.Addr())
+		tsrv.SetReady(true)
+	}
 	o.rec = fr.Recorder
 	err := run(os.Stdout, o)
 	if ferr := fr.Flush(); ferr != nil && err == nil {
@@ -92,6 +122,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cgrasim:", err)
 		os.Exit(1)
+	}
+	if tsrv != nil && *linger > 0 {
+		// Hold the endpoints open after a clean run so an external scraper
+		// polling the stderr announcement always reaches the final state.
+		fmt.Fprintf(os.Stderr, "telemetry: lingering %s before exit\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// phaseAgg accumulates one span name's attribution across a trace.
+type phaseAgg struct {
+	name  string
+	count int
+	// total is the sum of span durations; self subtracts each span's
+	// direct children, so nested phases (core.map.block under core.map
+	// under exp.cell) don't double-count toward the profile.
+	total float64
+	self  float64
+}
+
+// attribution aggregates per-phase total and self time over every
+// PIDTool span in the forest, sorted by self time descending (ties by
+// name) so the table leads with where the wall-clock actually went.
+func attribution(roots []*obs.SpanNode) []*phaseAgg {
+	byName := map[string]*phaseAgg{}
+	var walk func(n *obs.SpanNode)
+	walk = func(n *obs.SpanNode) {
+		if n.PID == obs.PIDTool {
+			a := byName[n.Name]
+			if a == nil {
+				a = &phaseAgg{name: n.Name}
+				byName[n.Name] = a
+			}
+			a.count++
+			a.total += n.Dur
+			self := n.Dur
+			for _, c := range n.Children {
+				if c.PID == obs.PIDTool {
+					self -= c.Dur
+				}
+			}
+			if self < 0 {
+				// Children overlapping their parent's window (concurrent
+				// spans folded onto one track) cannot make self time
+				// negative in the report.
+				self = 0
+			}
+			a.self += self
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	out := make([]*phaseAgg, 0, len(byName))
+	for _, a := range byName {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].self != out[j].self {
+			return out[i].self > out[j].self
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// toolWall sums the root-level PIDTool span durations: the trace's
+// attributable wall time.
+func toolWall(roots []*obs.SpanNode) float64 {
+	var wall float64
+	for _, r := range roots {
+		if r.PID == obs.PIDTool {
+			wall += r.Dur
+		}
+	}
+	return wall
+}
+
+// attributionTable renders the per-phase profile.
+func attributionTable(roots []*obs.SpanNode) string {
+	aggs := attribution(roots)
+	var selfSum float64
+	for _, a := range aggs {
+		selfSum += a.self
+	}
+	t := trace.NewTable("phase attribution (wall µs, PIDTool spans)",
+		"phase", "count", "total_us", "self_us", "self%")
+	for _, a := range aggs {
+		pct := "-"
+		if selfSum > 0 {
+			pct = fmt.Sprintf("%.1f%%", 100*a.self/selfSum)
+		}
+		t.Add(a.name, a.count, fmt.Sprintf("%.0f", a.total), fmt.Sprintf("%.0f", a.self), pct)
+	}
+	return t.String()
+}
+
+// deeper reports whether a beats b as the critical-path pick: longer
+// duration first, then earlier start, then name (a total order, so the
+// extracted path is unique for a given trace).
+func deeper(a, b *obs.SpanNode) bool {
+	if a.Dur != b.Dur {
+		return a.Dur > b.Dur
+	}
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.Name < b.Name
+}
+
+// criticalPath extracts the dominant root-to-leaf chain through the
+// PIDTool forest: the longest root (the portfolio's slowest seed track,
+// in a portfolio trace), then at each level the longest child.
+func criticalPath(roots []*obs.SpanNode) []*obs.SpanNode {
+	var best *obs.SpanNode
+	for _, r := range roots {
+		if r.PID != obs.PIDTool {
+			continue
+		}
+		if best == nil || deeper(r, best) {
+			best = r
+		}
+	}
+	var path []*obs.SpanNode
+	for n := best; n != nil; {
+		path = append(path, n)
+		var next *obs.SpanNode
+		for _, c := range n.Children {
+			if c.PID != obs.PIDTool {
+				continue
+			}
+			if next == nil || deeper(c, next) {
+				next = c
+			}
+		}
+		n = next
+	}
+	return path
+}
+
+// argDetail renders a span's interesting args as a stable "k=v" list.
+// Only a fixed allowlist is shown, in a fixed order, so the table never
+// depends on map iteration order or on noisy args.
+func argDetail(args map[string]any) string {
+	var parts []string
+	for _, k := range []string{"kernel", "config", "flow", "seed", "backend", "ok"} {
+		if v, found := args[k]; found {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// criticalPathTable renders the dominant chain with each hop's share of
+// the path root.
+func criticalPathTable(roots []*obs.SpanNode) string {
+	path := criticalPath(roots)
+	t := trace.NewTable("critical path (longest span chain)",
+		"depth", "phase", "tid", "dur_us", "of_root", "detail")
+	if len(path) == 0 {
+		return t.String()
+	}
+	root := path[0].Dur
+	for depth, n := range path {
+		pct := "-"
+		if root > 0 {
+			pct = fmt.Sprintf("%.1f%%", 100*n.Dur/root)
+		}
+		t.Add(depth, n.Name, n.TID, fmt.Sprintf("%.0f", n.Dur), pct, argDetail(n.Args))
+	}
+	return t.String()
+}
+
+// cellRow is one exp.cell span flattened for the per-cell table.
+type cellRow struct {
+	kernel, flow, config, ok string
+	total, mapping           float64
+}
+
+// cellTable groups the trace by evaluation cell: every exp.cell span
+// (the experiment runner wraps each kernel × flow × config evaluation in
+// one) with its total time and the portion spent inside the mapper.
+// Returns "" when the trace has no cell spans (cgramap/cgrasim traces).
+func cellTable(roots []*obs.SpanNode) string {
+	var rows []cellRow
+	var walk func(n *obs.SpanNode)
+	mapTime := func(n *obs.SpanNode) float64 {
+		var sum float64
+		var inner func(c *obs.SpanNode)
+		inner = func(c *obs.SpanNode) {
+			if c.Name == "core.map" || c.Name == "core.map.exact" {
+				sum += c.Dur
+				return // nested core.map.block already inside
+			}
+			for _, cc := range c.Children {
+				inner(cc)
+			}
+		}
+		for _, c := range n.Children {
+			inner(c)
+		}
+		return sum
+	}
+	str := func(args map[string]any, k string) string {
+		if v, found := args[k]; found {
+			return fmt.Sprint(v)
+		}
+		return "-"
+	}
+	walk = func(n *obs.SpanNode) {
+		if n.Name == "exp.cell" {
+			rows = append(rows, cellRow{
+				kernel: str(n.Args, "kernel"), flow: str(n.Args, "flow"),
+				config: str(n.Args, "config"), ok: str(n.Args, "ok"),
+				total: n.Dur, mapping: mapTime(n),
+			})
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.kernel != b.kernel {
+			return a.kernel < b.kernel
+		}
+		if a.config != b.config {
+			return a.config < b.config
+		}
+		return a.flow < b.flow
+	})
+	t := trace.NewTable("per-cell attribution (exp.cell spans)",
+		"kernel", "config", "flow", "ok", "total_us", "map_us")
+	for _, r := range rows {
+		t.Add(r.kernel, r.config, r.flow, r.ok, fmt.Sprintf("%.0f", r.total), fmt.Sprintf("%.0f", r.mapping))
+	}
+	return t.String()
+}
+
+// diffTable attributes the wall-clock delta between two traces to named
+// phases: per-phase total time old vs new, sorted by absolute delta
+// descending (ties by name), with the overall tool wall time as the
+// closing row.
+func diffTable(oldRoots, newRoots []*obs.SpanNode) string {
+	oldAggs, newAggs := attribution(oldRoots), attribution(newRoots)
+	type pair struct {
+		name     string
+		old, new *phaseAgg
+	}
+	byName := map[string]*pair{}
+	names := []string{}
+	add := func(a *phaseAgg, isNew bool) {
+		p := byName[a.name]
+		if p == nil {
+			p = &pair{name: a.name}
+			byName[a.name] = p
+			names = append(names, a.name)
+		}
+		if isNew {
+			p.new = a
+		} else {
+			p.old = a
+		}
+	}
+	for _, a := range oldAggs {
+		add(a, false)
+	}
+	for _, a := range newAggs {
+		add(a, true)
+	}
+	pairs := make([]*pair, 0, len(names))
+	for _, n := range names {
+		pairs = append(pairs, byName[n])
+	}
+	get := func(a *phaseAgg) (total float64, count int) {
+		if a == nil {
+			return 0, 0
+		}
+		return a.total, a.count
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		oi, _ := get(pairs[i].old)
+		ni, _ := get(pairs[i].new)
+		oj, _ := get(pairs[j].old)
+		nj, _ := get(pairs[j].new)
+		di, dj := abs(ni-oi), abs(nj-oj)
+		if di != dj {
+			return di > dj
+		}
+		return pairs[i].name < pairs[j].name
+	})
+	t := trace.NewTable("phase regression (total wall µs per phase)",
+		"phase", "old_us", "new_us", "delta_us", "delta%", "old_n", "new_n")
+	row := func(name string, o, n float64, oc, nc int) {
+		pct := "-"
+		if o > 0 {
+			pct = fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+		}
+		t.Add(name, fmt.Sprintf("%.0f", o), fmt.Sprintf("%.0f", n),
+			fmt.Sprintf("%+.0f", n-o), pct, oc, nc)
+	}
+	for _, p := range pairs {
+		o, oc := get(p.old)
+		n, nc := get(p.new)
+		row(p.name, o, n, oc, nc)
+	}
+	row("TOTAL (tool wall)", toolWall(oldRoots), toolWall(newRoots),
+		len(rootsTool(oldRoots)), len(rootsTool(newRoots)))
+	return t.String()
+}
+
+func rootsTool(roots []*obs.SpanNode) []*obs.SpanNode {
+	var out []*obs.SpanNode
+	for _, r := range roots {
+		if r.PID == obs.PIDTool {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

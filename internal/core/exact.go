@@ -83,7 +83,7 @@ func (ExactBackend) Map(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt
 	var sp obs.Span
 	if opt.Obs.Enabled() {
 		opt.Obs.Counter("core.backend.exact.maps").Inc()
-		sp = opt.Obs.StartSpan("core.map.exact", "core", 0)
+		sp = opt.Obs.StartSpan("core.map.exact", "core", opt.ObsTID)
 	}
 
 	// Warm start: the heuristic's mapping is the incumbent the search must

@@ -13,7 +13,7 @@ import (
 // change the mapping bytes. ExactNodeBudget is resolved through the
 // CGRA_EXACT_NODE_BUDGET environment knob exactly as the exact backend
 // resolves it, so an env change cannot alias two different searches under
-// one key.
+// one key. ObsTID is excluded with Obs: it only labels trace tracks.
 //
 // Profile is the one field a flat fingerprint cannot key soundly: its
 // block weights are keyed by BBID, which an isomorphism-invariant graph

@@ -45,7 +45,7 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		SymHomes: map[string]SymLoc{},
 	}
 	if opt.Obs.Enabled() {
-		sp := opt.Obs.StartSpan("core.map", "core", 0)
+		sp := opt.Obs.StartSpan("core.map", "core", opt.ObsTID)
 		defer func() {
 			sp.End(map[string]any{"kernel": g.Name, "grid": grid.Name, "flow": opt.Flow.String()})
 			recordMapStats(opt.Obs, &m.Stats, ar)
@@ -169,7 +169,7 @@ func Map(g *cdfg.Graph, grid *arch.Grid, opt Options) (*Mapping, error) {
 		}
 		var blockSpan obs.Span
 		if opt.Obs.Enabled() {
-			blockSpan = opt.Obs.StartSpan("core.map.block", "core", 0)
+			blockSpan = opt.Obs.StartSpan("core.map.block", "core", opt.ObsTID)
 		}
 		var done []*partial
 		var err error

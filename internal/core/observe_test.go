@@ -83,9 +83,11 @@ func TestMapObsInvariance(t *testing.T) {
 	}
 
 	events := sink.Events()
+	// Spans emit begin/end pairs; the end event carries duration and args,
+	// so it is the one counted as "the span" here.
 	spans := map[string]int{}
 	for _, e := range events {
-		if e.Ph == obs.PhaseComplete {
+		if e.Ph == obs.PhaseEnd {
 			spans[e.Name]++
 		}
 		if e.PID != obs.PIDTool {
@@ -122,12 +124,14 @@ func TestMapPortfolioObs(t *testing.T) {
 	if got := rec.Counter("core.map.calls").Value(); got != 3 {
 		t.Errorf("core.map.calls = %d, want 3", got)
 	}
+	// Count each seed span once, by its end event (the begin carries no
+	// args yet).
 	seedSpans, winners := 0, 0
 	for _, e := range sink.Events() {
-		switch e.Name {
-		case "core.portfolio.seed":
+		switch {
+		case e.Name == "core.portfolio.seed" && e.Ph == obs.PhaseEnd:
 			seedSpans++
-		case "core.portfolio.winner":
+		case e.Name == "core.portfolio.winner":
 			winners++
 			if e.Args["seed"] != res.Seed {
 				t.Errorf("winner event seed %v, want %d", e.Args["seed"], res.Seed)

@@ -126,6 +126,14 @@ type Options struct {
 	// so mappings are byte-identical with and without a recorder.
 	Obs *obs.Recorder
 
+	// ObsTID is the trace track (Chrome trace tid) the mapper's spans land
+	// on. Concurrent Map calls sharing one recorder — portfolio seeds, the
+	// experiment runner's prefetch workers, oracle sweep workers — must use
+	// distinct tids so per-track timestamps stay monotone and span nesting
+	// reconstructs per worker (cgratrace, cgrametrics -events). Purely
+	// observational: excluded from Fingerprint, never influences the search.
+	ObsTID int
+
 	// ctx, when set (by MapPortfolio), lets Map abort between basic
 	// blocks and between retry attempts once the context is cancelled.
 	ctx context.Context

@@ -337,6 +337,10 @@ func MapPortfolio(ctx context.Context, g *cdfg.Graph, grid *arch.Grid, opt Optio
 				seedOpt.Seed = job.seed
 				seedOpt.ctx = ctx
 				seedOpt.arena = ar
+				// Each job traces on its own track: the seed span below and
+				// every core.map/core.map.block span the backend opens nest
+				// under tid i instead of colliding on the caller's tid.
+				seedOpt.ObsTID = i
 				if inc != nil && !job.backend.Capabilities().Exhaustive {
 					seedOpt.incumbent = inc
 					seedOpt.incJob = i

@@ -54,12 +54,12 @@ func (r *Runner) RunGapTable(config arch.ConfigName, budget int) (*GapTable, err
 	flows := []core.Flow{core.FlowBasic, core.FlowACMAP, core.FlowECMAP, core.FlowCAB}
 	names := kernels.Names()
 	t := &GapTable{Config: config, Budget: budget, Cells: make([]*GapCell, len(names)*len(flows))}
-	jobs := make([]func(*core.Arena), 0, len(t.Cells))
+	jobs := make([]func(*core.Arena, int), 0, len(t.Cells))
 	for ki, name := range names {
 		for fi, flow := range flows {
 			ki, fi, name, flow := ki, fi, name, flow
-			jobs = append(jobs, func(ar *core.Arena) {
-				t.Cells[ki*len(flows)+fi] = r.gapCell(ar, name, flow, config, budget)
+			jobs = append(jobs, func(ar *core.Arena, tid int) {
+				t.Cells[ki*len(flows)+fi] = r.gapCell(ar, tid, name, flow, config, budget)
 			})
 		}
 	}
@@ -72,7 +72,7 @@ func (r *Runner) RunGapTable(config arch.ConfigName, budget int) (*GapTable, err
 	return t, nil
 }
 
-func (r *Runner) gapCell(ar *core.Arena, kernel string, flow core.Flow, config arch.ConfigName, budget int) *GapCell {
+func (r *Runner) gapCell(ar *core.Arena, tid int, kernel string, flow core.Flow, config arch.ConfigName, budget int) *GapCell {
 	c := &GapCell{Kernel: kernel, Flow: flow, Heuristic: -1, Exact: -1}
 	k, err := kernels.ByName(kernel)
 	if err != nil {
@@ -82,6 +82,7 @@ func (r *Runner) gapCell(ar *core.Arena, kernel string, flow core.Flow, config a
 	opt := core.DefaultOptions(flow).WithArena(ar)
 	opt.ExactNodeBudget = budget
 	opt.Obs = r.Obs
+	opt.ObsTID = tid
 	m, err := (core.ExactBackend{}).Map(context.Background(), k.Build(), arch.MustGrid(config), opt)
 	if err != nil {
 		c.Fail = err.Error()

@@ -125,8 +125,10 @@ func NewRunner() *Runner {
 // its whole lifetime — every cell it evaluates reuses the same search
 // scratch memory instead of allocating per (kernel, config) — and arenas
 // never influence mapping results, so the byte-identical-output guarantee
-// is unaffected.
-func (r *Runner) prefetch(jobs []func(*core.Arena)) {
+// is unaffected. The worker index doubles as the trace track (obs tid)
+// each job's spans land on, so concurrent cells reconstruct as parallel
+// per-worker timelines instead of interleaving on one track.
+func (r *Runner) prefetch(jobs []func(*core.Arena, int)) {
 	n := r.Workers
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -137,21 +139,21 @@ func (r *Runner) prefetch(jobs []func(*core.Arena)) {
 	if n <= 1 {
 		ar := core.NewArena()
 		for _, j := range jobs {
-			j(ar)
+			j(ar, 0)
 		}
 		return
 	}
-	ch := make(chan func(*core.Arena))
+	ch := make(chan func(*core.Arena, int))
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func() {
+		go func(tid int) {
 			defer wg.Done()
 			ar := core.NewArena()
 			for j := range ch {
-				j(ar)
+				j(ar, tid)
 			}
-		}()
+		}(i)
 	}
 	for _, j := range jobs {
 		ch <- j
@@ -162,24 +164,27 @@ func (r *Runner) prefetch(jobs []func(*core.Arena)) {
 
 // Run evaluates one cell with the flow's default traversal.
 func (r *Runner) Run(kernel string, flow core.Flow, config arch.ConfigName) *Cell {
-	return r.runArena(nil, kernel, flow, config)
+	return r.runArena(nil, 0, kernel, flow, config)
 }
 
-// runArena is Run with an optional caller-owned mapper arena (prefetch
-// workers thread theirs through so all their cells share scratch memory).
-func (r *Runner) runArena(ar *core.Arena, kernel string, flow core.Flow, config arch.ConfigName) *Cell {
+// runArena is Run with an optional caller-owned mapper arena and trace
+// track (prefetch workers thread theirs through so all their cells share
+// scratch memory and trace on the worker's tid).
+func (r *Runner) runArena(ar *core.Arena, tid int, kernel string, flow core.Flow, config arch.ConfigName) *Cell {
 	opt := core.DefaultOptions(flow).WithArena(ar)
+	opt.ObsTID = tid
 	return r.run(kernel, flow, config, opt)
 }
 
 // RunTraversal evaluates a cell forcing the CDFG traversal order (the
 // Fig 5 experiment).
 func (r *Runner) RunTraversal(kernel string, flow core.Flow, config arch.ConfigName, trav cdfg.TraversalKind) *Cell {
-	return r.runTraversalArena(nil, kernel, flow, config, trav)
+	return r.runTraversalArena(nil, 0, kernel, flow, config, trav)
 }
 
-func (r *Runner) runTraversalArena(ar *core.Arena, kernel string, flow core.Flow, config arch.ConfigName, trav cdfg.TraversalKind) *Cell {
+func (r *Runner) runTraversalArena(ar *core.Arena, tid int, kernel string, flow core.Flow, config arch.ConfigName, trav cdfg.TraversalKind) *Cell {
 	opt := core.DefaultOptions(flow).WithArena(ar)
+	opt.ObsTID = tid
 	opt.Traversal = trav
 	opt.ForceTraversal = true
 	return r.run(kernel, flow, config, opt)
@@ -214,7 +219,19 @@ func (r *Runner) run(kernel string, flow core.Flow, config arch.ConfigName, opt 
 	return c
 }
 
+// evaluate wraps one cell evaluation in an exp.cell span carrying the
+// cell's identity, so offline analysis (cgratrace) can group every mapper
+// and simulator span nested under it by kernel × flow × config.
 func (r *Runner) evaluate(kernel string, flow core.Flow, config arch.ConfigName, opt core.Options) *Cell {
+	sp := r.Obs.StartSpan("exp.cell", "exp", opt.ObsTID)
+	c := r.evaluateCell(kernel, flow, config, opt)
+	sp.End(map[string]any{
+		"kernel": kernel, "flow": flow.String(), "config": string(config), "ok": c.OK,
+	})
+	return c
+}
+
+func (r *Runner) evaluateCell(kernel string, flow core.Flow, config arch.ConfigName, opt core.Options) *Cell {
 	c := &Cell{Kernel: kernel, Flow: flow, Config: config}
 	k, err := kernels.ByName(kernel)
 	if err != nil {
@@ -445,6 +462,6 @@ func (r *Runner) Baseline(kernel string) *Cell {
 	return r.Run(kernel, core.FlowBasic, arch.HOM64)
 }
 
-func (r *Runner) baselineArena(ar *core.Arena, kernel string) *Cell {
-	return r.runArena(ar, kernel, core.FlowBasic, arch.HOM64)
+func (r *Runner) baselineArena(ar *core.Arena, tid int, kernel string) *Cell {
+	return r.runArena(ar, tid, kernel, core.FlowBasic, arch.HOM64)
 }

@@ -20,13 +20,20 @@ import (
 // escape hatch from the environment on purpose (and the cache key
 // folds that knob in through Options.Fingerprint, where it is
 // resolved explicitly rather than read ambiently).
+//
+// internal/telemetry is held to the same bar: the server sits on the
+// recorder's hot path (RingSink.Emit runs inside mapper workers), so
+// its behaviour must be a function of the events it is handed — no
+// wall-clock branching, no global rand, and configuration threaded
+// through Config rather than read from the environment.
 var detrandRule = &Rule{
 	Name: "detrand",
-	Doc:  "nondeterminism source inside the deterministic mapper, simulator or mapping cache",
+	Doc:  "nondeterminism source inside the deterministic mapper, simulator, mapping cache or telemetry server",
 	Applies: func(pkgPath string) bool {
 		return strings.HasSuffix(pkgPath, "internal/core") ||
 			strings.HasSuffix(pkgPath, "internal/sim") ||
-			strings.HasSuffix(pkgPath, "internal/mapcache")
+			strings.HasSuffix(pkgPath, "internal/mapcache") ||
+			strings.HasSuffix(pkgPath, "internal/telemetry")
 	},
 	Check: checkDetrand,
 }
@@ -43,11 +50,14 @@ func checkDetrand(p *Package) []Finding {
 	where := "mapper"
 	inSim := strings.HasSuffix(p.Path, "internal/sim")
 	inCache := strings.HasSuffix(p.Path, "internal/mapcache")
+	inTelemetry := strings.HasSuffix(p.Path, "internal/telemetry")
 	switch {
 	case inSim:
 		where = "simulator"
 	case inCache:
 		where = "mapping cache"
+	case inTelemetry:
+		where = "telemetry server"
 	}
 	var out []Finding
 	for _, f := range p.Files {
@@ -85,10 +95,11 @@ func checkDetrand(p *Package) []Finding {
 					})
 				}
 			case "os":
-				// Environment reads are banned in the simulator and in the
-				// mapping cache (keys must be pure functions of the request);
+				// Environment reads are banned in the simulator, the mapping
+				// cache (keys must be pure functions of the request) and the
+				// telemetry server (configuration flows through Config);
 				// core's exact backend deliberately honors an env knob.
-				if (inSim || inCache) && (sel.Sel.Name == "Getenv" || sel.Sel.Name == "LookupEnv") {
+				if (inSim || inCache || inTelemetry) && (sel.Sel.Name == "Getenv" || sel.Sel.Name == "LookupEnv") {
 					out = append(out, Finding{
 						Pos:  p.Fset.Position(call.Pos()),
 						Rule: "detrand",

@@ -428,6 +428,72 @@ import "fmt"
 func Render() { fmt.Println("tables may print") }
 `)
 	if got := rulesOf(fs); got["noprint"] != 0 {
-		t.Errorf("noprint must only apply to internal/core and internal/sim:\n%v", fs)
+		t.Errorf("noprint must only apply to internal/core, internal/sim and internal/telemetry:\n%v", fs)
+	}
+}
+
+// TestNoprintCoversTelemetry pins the rule's extension to the embedded
+// telemetry server: handlers write to the response writer, never to the
+// process's stdout (which the embedding CLI golden-diffs).
+func TestNoprintCoversTelemetry(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/telemetry", `package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+func Bad(addr string) {
+	fmt.Println("serving on", addr) // flagged: stdout belongs to the CLI
+	log.Printf("serving on %s", addr) // flagged: log side effect
+}
+
+func Good(w io.Writer, addr string) {
+	fmt.Fprintf(w, "serving on %s\n", addr) // response writer: fine
+}
+`)
+	got := rulesOf(fs)
+	if got["noprint"] != 2 {
+		t.Errorf("want 2 noprint findings in internal/telemetry, got %d:\n%v", got["noprint"], fs)
+	}
+	for _, f := range fs {
+		if f.Rule == "noprint" && !strings.Contains(f.Msg, "telemetry server") {
+			t.Errorf("telemetry finding does not name the telemetry server: %q", f.Msg)
+		}
+	}
+}
+
+// TestDetrandCoversTelemetry: the live-observability layer must not
+// branch on the wall clock, draw from the global rand source, or read
+// configuration from the environment — its outputs are a function of
+// the events and metrics it is handed.
+func TestDetrandCoversTelemetry(t *testing.T) {
+	fs := analyzeSrc(t, "repro/internal/telemetry", `package telemetry
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func Bad() (int, string, time.Time) {
+	jitter := rand.Intn(100)        // flagged: global source
+	addr := os.Getenv("SERVE_ADDR") // flagged: env config
+	return jitter, addr, time.Now() // flagged: wall-clock read
+}
+
+func Good(t0 time.Time) time.Duration {
+	return time.Since(t0) // durations are fine
+}
+`)
+	got := rulesOf(fs)
+	if got["detrand"] != 3 {
+		t.Errorf("want 3 detrand findings in internal/telemetry, got %d:\n%v", got["detrand"], fs)
+	}
+	for _, f := range fs {
+		if f.Rule == "detrand" && !strings.Contains(f.Msg, "telemetry server") {
+			t.Errorf("telemetry finding does not name the telemetry server: %q", f.Msg)
+		}
 	}
 }

@@ -5,18 +5,22 @@ import (
 	"strings"
 )
 
-// noprintRule keeps the mapper and simulator free of direct console
-// output: both run inside worker pools and benchmarks where stray
-// writes interleave nondeterministically and corrupt golden outputs.
-// Diagnostics must flow through returned errors or the obs recorder
-// (internal/obs), never fmt.Print*/log.* side effects. fmt.Fprint* to a
-// caller-supplied writer and fmt.Sprintf stay legal.
+// noprintRule keeps the mapper, the simulator and the telemetry server
+// free of direct console output: the first two run inside worker pools
+// and benchmarks where stray writes interleave nondeterministically and
+// corrupt golden outputs, and the telemetry server is embedded in every
+// CLI whose stdout is a golden-diffed report (its handlers must write
+// to the response writer, its embedders own stderr). Diagnostics must
+// flow through returned errors or the obs recorder (internal/obs),
+// never fmt.Print*/log.* side effects. fmt.Fprint* to a caller-supplied
+// writer and fmt.Sprintf stay legal.
 var noprintRule = &Rule{
 	Name: "noprint",
-	Doc:  "direct console output inside internal/core or internal/sim",
+	Doc:  "direct console output inside internal/core, internal/sim or internal/telemetry",
 	Applies: func(pkgPath string) bool {
 		return strings.HasSuffix(pkgPath, "internal/core") ||
-			strings.HasSuffix(pkgPath, "internal/sim")
+			strings.HasSuffix(pkgPath, "internal/sim") ||
+			strings.HasSuffix(pkgPath, "internal/telemetry")
 	},
 	Check: checkNoprint,
 }
@@ -30,6 +34,10 @@ var stdoutPrintFuncs = map[string]bool{
 }
 
 func checkNoprint(p *Package) []Finding {
+	where := "the mapper/simulator"
+	if strings.HasSuffix(p.Path, "internal/telemetry") {
+		where = "the telemetry server"
+	}
 	var out []Finding
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -51,7 +59,7 @@ func checkNoprint(p *Package) []Finding {
 					out = append(out, Finding{
 						Pos:  p.Fset.Position(call.Pos()),
 						Rule: "noprint",
-						Msg: "fmt." + sel.Sel.Name + " writes to stdout inside the mapper/simulator; " +
+						Msg: "fmt." + sel.Sel.Name + " writes to stdout inside " + where + "; " +
 							"return an error or record through the obs recorder",
 					})
 				}
@@ -59,7 +67,7 @@ func checkNoprint(p *Package) []Finding {
 				out = append(out, Finding{
 					Pos:  p.Fset.Position(call.Pos()),
 					Rule: "noprint",
-					Msg: "log." + sel.Sel.Name + " inside the mapper/simulator; " +
+					Msg: "log." + sel.Sel.Name + " inside " + where + "; " +
 						"return an error or record through the obs recorder",
 				})
 			}

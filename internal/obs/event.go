@@ -1,17 +1,25 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
 )
 
-// Phase codes follow the Chrome trace_event format: "X" is a complete
-// (duration) event, "i" an instant event.
+// Phase codes follow the Chrome trace_event format: "B"/"E" open and
+// close a duration span, "X" is a self-contained complete event, "i" an
+// instant event, "M" metadata. Recorder spans emit a begin/end pair (so a
+// live event stream shows spans the moment they open); the simulator's
+// cycle-domain block events stay single "X" records.
 const (
+	PhaseBegin    = "B"
+	PhaseEnd      = "E"
 	PhaseComplete = "X"
 	PhaseInstant  = "i"
+	PhaseMeta     = "M"
 )
 
 // Well-known process IDs partitioning the timeline into Perfetto tracks:
@@ -37,6 +45,12 @@ type Event struct {
 	Dur float64 `json:"dur,omitempty"`
 	PID int     `json:"pid"`
 	TID int     `json:"tid"`
+	// ID links a span's begin and end events: the recorder stamps every
+	// span with a process-unique id, so offline analyzers (cgratrace,
+	// cgrametrics -events) pair PhaseBegin with PhaseEnd even when spans
+	// from concurrent tracks interleave in the stream. Zero on instant,
+	// complete and metadata events.
+	ID int64 `json:"id,omitempty"`
 	// Args carries event-specific payload (kept small; values must be
 	// JSON-encodable).
 	Args map[string]any `json:"args,omitempty"`
@@ -52,9 +66,10 @@ type Sink interface {
 // log. Encoding errors are recorded and reported by Err rather than
 // interrupting the instrumented computation.
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu     sync.Mutex
+	enc    *json.Encoder
+	err    error
+	errCtr *Counter
 }
 
 // NewJSONLSink returns a sink writing JSON lines to w.
@@ -62,12 +77,23 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 	return &JSONLSink{enc: json.NewEncoder(w)}
 }
 
+// Meter surfaces the sink's write failures as the registry counter
+// obs.sink.errors, so a dying event log is visible on a live /metrics
+// scrape instead of only in the post-run Err check.
+func (s *JSONLSink) Meter(reg *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.errCtr = reg.Counter("obs.sink.errors")
+}
+
 // Emit writes one event line.
 func (s *JSONLSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err == nil {
-		s.err = s.enc.Encode(e)
+		if s.err = s.enc.Encode(e); s.err != nil {
+			s.errCtr.Inc()
+		}
 	}
 }
 
@@ -86,6 +112,7 @@ type BufferSink struct {
 	events  []Event
 	cap     int
 	dropped int64
+	dropCtr *Counter
 }
 
 // DefaultBufferCap bounds a BufferSink when no explicit cap is given:
@@ -102,12 +129,22 @@ func NewBufferSink(cap int) *BufferSink {
 	return &BufferSink{cap: cap}
 }
 
+// Meter surfaces the sink's cap overflow as the registry counter
+// obs.sink.dropped: silent event loss becomes a visible metric on every
+// snapshot and /metrics scrape.
+func (s *BufferSink) Meter(reg *Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropCtr = reg.Counter("obs.sink.dropped")
+}
+
 // Emit appends the event, dropping it when the buffer is full.
 func (s *BufferSink) Emit(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.events) >= s.cap {
 		s.dropped++
+		s.dropCtr.Inc()
 		return
 	}
 	s.events = append(s.events, e)
@@ -169,6 +206,78 @@ func (s *BufferSink) WriteTrace(w io.Writer) error {
 		return fmt.Errorf("obs: writing trace: %w", err)
 	}
 	return nil
+}
+
+// ReadEvents parses an event artifact in either of the repository's two
+// on-disk forms: JSON lines (one Event per line — the telemetry /events
+// stream and the cgratrace fixtures) or the Chrome trace_event object
+// form the CLIs' -events flag writes ({"traceEvents": [...]}). Decoding
+// is strict — an unknown field or trailing garbage is an error naming
+// the offending line — so a corrupted or mis-routed artifact cannot pass
+// the cgrametrics events gate silently.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading events: %w", err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("obs: no events (empty input)")
+	}
+	// The Chrome trace form is one JSON object wrapping the event array.
+	var tf struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tf); err == nil && !dec.More() && tf.TraceEvents != nil {
+		out := make([]Event, 0, len(tf.TraceEvents))
+		for i, raw := range tf.TraceEvents {
+			e, err := decodeEvent(raw)
+			if err != nil {
+				return nil, fmt.Errorf("obs: trace event %d: %w", i+1, err)
+			}
+			out = append(out, e)
+		}
+		return out, nil
+	}
+	var out []Event
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := decodeEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: events line %d: %w", ln, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading events: %w", err)
+	}
+	return out, nil
+}
+
+// decodeEvent strictly decodes one event object.
+func decodeEvent(raw []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var e Event
+	if err := dec.Decode(&e); err != nil {
+		return Event{}, err
+	}
+	if dec.More() {
+		return Event{}, fmt.Errorf("trailing data after event object")
+	}
+	if e.Ph == "" {
+		return Event{}, fmt.Errorf("event has no phase (not an event object?)")
+	}
+	return e, nil
 }
 
 // MultiSink fans each event out to every child sink.

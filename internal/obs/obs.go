@@ -149,13 +149,14 @@ type MetricValue struct {
 	// Histogram-only fields.
 	Count int64 `json:"count,omitempty"`
 	P50   int64 `json:"p50,omitempty"`
+	P95   int64 `json:"p95,omitempty"`
 	P99   int64 `json:"p99,omitempty"`
 }
 
 // Display renders the snapshot value for text tables (trace.Metrics).
 func (m MetricValue) Display() string {
 	if m.Kind == KindHistogram {
-		return fmt.Sprintf("n=%d sum=%d p50=%d p99=%d", m.Count, m.Value, m.P50, m.P99)
+		return fmt.Sprintf("n=%d sum=%d p50=%d p95=%d p99=%d", m.Count, m.Value, m.P50, m.P95, m.P99)
 	}
 	return fmt.Sprint(m.Value)
 }
@@ -233,7 +234,7 @@ func (r *Registry) Snapshot() []MetricValue {
 			out = append(out, MetricValue{
 				Name: n, Kind: KindHistogram,
 				Value: v.Sum(), Count: v.Count(),
-				P50: v.Quantile(0.50), P99: v.Quantile(0.99),
+				P50: v.Quantile(0.50), P95: v.Quantile(0.95), P99: v.Quantile(0.99),
 			})
 		}
 	}

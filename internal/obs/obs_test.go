@@ -80,8 +80,14 @@ func TestRegistrySnapshot(t *testing.T) {
 	if snap[2].P50 < 50 || snap[2].P50 > 127 {
 		t.Fatalf("p50 = %d, want in [50,127]", snap[2].P50)
 	}
+	if snap[2].P95 < 95 || snap[2].P95 > 127 {
+		t.Fatalf("p95 = %d, want in [95,127]", snap[2].P95)
+	}
 	if snap[2].P99 < 100 {
 		t.Fatalf("p99 = %d, want >= 100", snap[2].P99)
+	}
+	if snap[2].P50 > snap[2].P95 || snap[2].P95 > snap[2].P99 {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d", snap[2].P50, snap[2].P95, snap[2].P99)
 	}
 }
 
@@ -165,21 +171,33 @@ func TestRecorderSpanAndTrace(t *testing.T) {
 	r.EmitEvent(Event{Name: "block", Cat: "sim", Ph: PhaseComplete, TS: 100, Dur: 40, PID: PIDSim, TID: 0})
 
 	events := buf.Events()
-	if len(events) != 3 {
-		t.Fatalf("captured %d events, want 3", len(events))
+	// Span begin, instant, span end, sim complete.
+	if len(events) != 4 {
+		t.Fatalf("captured %d events, want 4", len(events))
 	}
-	// Span events carry the start timestamp, not the end.
-	var span *Event
+	var begin, end *Event
 	for i := range events {
-		if events[i].Name == "map.block" {
-			span = &events[i]
+		if events[i].Name != "map.block" {
+			continue
+		}
+		switch events[i].Ph {
+		case PhaseBegin:
+			begin = &events[i]
+		case PhaseEnd:
+			end = &events[i]
 		}
 	}
-	if span == nil || span.Ph != PhaseComplete || span.Dur <= 0 {
-		t.Fatalf("span event %+v", span)
+	if begin == nil || end == nil {
+		t.Fatalf("span missing begin/end pair: %+v", events)
 	}
-	if span.Args["block"] != "entry" {
-		t.Fatalf("span args %+v", span.Args)
+	if begin.ID == 0 || begin.ID != end.ID {
+		t.Fatalf("span begin/end ids not linked: begin=%d end=%d", begin.ID, end.ID)
+	}
+	if end.Dur <= 0 || end.TS < begin.TS {
+		t.Fatalf("span end %+v before begin %+v", end, begin)
+	}
+	if end.Args["block"] != "entry" {
+		t.Fatalf("span args %+v", end.Args)
 	}
 
 	var tr bytes.Buffer
@@ -192,9 +210,9 @@ func TestRecorderSpanAndTrace(t *testing.T) {
 	if err := json.Unmarshal(tr.Bytes(), &parsed); err != nil {
 		t.Fatalf("trace is not valid JSON: %v", err)
 	}
-	// 2 process-name metadata records + the 3 events.
-	if len(parsed.TraceEvents) != 5 {
-		t.Fatalf("trace has %d records, want 5", len(parsed.TraceEvents))
+	// 2 process-name metadata records + the 4 events.
+	if len(parsed.TraceEvents) != 6 {
+		t.Fatalf("trace has %d records, want 6", len(parsed.TraceEvents))
 	}
 	for i, e := range parsed.TraceEvents {
 		if _, ok := e["ph"]; !ok {
@@ -251,12 +269,21 @@ func TestFileOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mv MetricValue
-	if err := json.Unmarshal(bytes.TrimSpace(mb), &mv); err != nil {
-		t.Fatalf("metrics file not JSONL: %v", err)
+	// Two lines: the metered obs.sink.dropped (zero, but visible) and runs.
+	var names []string
+	runs := false
+	for _, line := range bytes.Split(bytes.TrimSpace(mb), []byte("\n")) {
+		var mv MetricValue
+		if err := json.Unmarshal(line, &mv); err != nil {
+			t.Fatalf("metrics file not JSONL: %v\n%s", err, line)
+		}
+		names = append(names, mv.Name)
+		if mv.Name == "runs" && mv.Value == 1 {
+			runs = true
+		}
 	}
-	if mv.Name != "runs" || mv.Value != 1 {
-		t.Fatalf("metrics file content %+v", mv)
+	if !runs {
+		t.Fatalf("metrics file missing runs=1: %v", names)
 	}
 	eb, err := os.ReadFile(ePath)
 	if err != nil {
@@ -278,6 +305,165 @@ func TestFileOutputs(t *testing.T) {
 	off.Counter("x").Inc()
 	if err := off.Flush(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBufferSinkMeterDropped(t *testing.T) {
+	reg := NewRegistry()
+	s := NewBufferSink(2)
+	s.Meter(reg)
+	for i := 0; i < 5; i++ {
+		s.Emit(Event{Name: "e", Ph: PhaseInstant})
+	}
+	if got := s.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	if got := reg.Counter("obs.sink.dropped").Value(); got != 3 {
+		t.Fatalf("obs.sink.dropped = %d, want 3", got)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, os.ErrClosed
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJSONLSinkMeterErrors(t *testing.T) {
+	reg := NewRegistry()
+	s := NewJSONLSink(&failWriter{n: 1})
+	s.Meter(reg)
+	s.Emit(Event{Name: "ok", Ph: PhaseInstant})
+	s.Emit(Event{Name: "fails", Ph: PhaseInstant})
+	s.Emit(Event{Name: "after", Ph: PhaseInstant})
+	if s.Err() == nil {
+		t.Fatal("failing writer did not surface an error")
+	}
+	// Only the first failing write counts: the sink latches its error and
+	// stops writing, so the metric reports failures, not dropped lines.
+	if got := reg.Counter("obs.sink.errors").Value(); got != 1 {
+		t.Fatalf("obs.sink.errors = %d, want 1", got)
+	}
+}
+
+func TestFileOutputsErrorPaths(t *testing.T) {
+	// Unwritable destination directory: Flush must report the error, not
+	// panic or half-write.
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir")
+	f := FileOutputs(filepath.Join(missing, "m.json"), "")
+	f.Counter("x").Inc()
+	if err := f.Flush(); err == nil {
+		t.Fatal("flush into a missing dir succeeded")
+	}
+	f2 := FileOutputs("", filepath.Join(missing, "e.trace"))
+	f2.StartSpan("s", "t", 0).End(nil)
+	if err := f2.Flush(); err == nil {
+		t.Fatal("trace flush into a missing dir succeeded")
+	}
+
+	// Flush is idempotent: a second call rewrites the same artifacts.
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "m.json")
+	ok := FileOutputs(mPath, "")
+	ok.Counter("runs").Inc()
+	if err := ok.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Flush(); err != nil {
+		t.Fatalf("second flush: %v", err)
+	}
+	second, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("double flush changed the artifact:\n%s\nvs\n%s", first, second)
+	}
+}
+
+func TestFileOutputsWithExtraSink(t *testing.T) {
+	extra := NewBufferSink(0)
+	// No file paths at all: the extra sink alone must still produce a live
+	// recorder with a registry (a /metrics endpoint needs one).
+	f := FileOutputsWith("", "", extra)
+	if !f.Enabled() {
+		t.Fatal("recorder with extra sink is disabled")
+	}
+	if f.Registry() == nil {
+		t.Fatal("recorder with extra sink has no registry")
+	}
+	f.Counter("runs").Inc()
+	f.StartSpan("work", "t", 0).End(nil)
+	if got := len(extra.Events()); got != 2 {
+		t.Fatalf("extra sink saw %d events, want 2 (begin+end)", got)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatalf("pathless flush: %v", err)
+	}
+
+	// With an events file too, both sinks must see every event.
+	dir := t.TempDir()
+	extra2 := NewBufferSink(0)
+	f2 := FileOutputsWith("", filepath.Join(dir, "e.trace"), extra2)
+	f2.Emit("tick", "t", 0, nil)
+	if len(extra2.Events()) != 1 {
+		t.Fatal("extra sink missed a fanned-out event")
+	}
+	if err := f2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEventsFormats(t *testing.T) {
+	// Round-trip through both on-disk forms.
+	buf := NewBufferSink(0)
+	r := NewRecorder(nil, buf)
+	sp := r.StartSpan("phase", "t", 0)
+	r.Emit("tick", "t", 0, map[string]any{"n": float64(1)})
+	sp.End(nil)
+
+	var jsonl bytes.Buffer
+	if err := buf.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	fromJSONL, err := ReadEvents(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatalf("jsonl: %v", err)
+	}
+	if len(fromJSONL) != 3 {
+		t.Fatalf("jsonl read %d events, want 3", len(fromJSONL))
+	}
+
+	var trace bytes.Buffer
+	if err := buf.WriteTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	fromTrace, err := ReadEvents(bytes.NewReader(trace.Bytes()))
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	// Trace form includes the two process-name metadata records.
+	if len(fromTrace) != 5 {
+		t.Fatalf("trace read %d events, want 5", len(fromTrace))
+	}
+
+	for _, bad := range []string{
+		"",
+		"not json\n",
+		`{"name":"x","ph":"i","ts":1,"pid":1,"tid":0,"bogus":true}` + "\n",
+		`{"name":"x","ts":1,"pid":1,"tid":0}` + "\n", // no phase
+	} {
+		if _, err := ReadEvents(bytes.NewReader([]byte(bad))); err == nil {
+			t.Fatalf("ReadEvents accepted malformed input %q", bad)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,6 +18,10 @@ type Recorder struct {
 	reg   *Registry
 	sink  Sink
 	start time.Time
+	// spanID hands every span a process-unique id linking its begin and
+	// end events, so concurrent tracks interleaved in one stream stay
+	// pairable offline (cgratrace, cgrametrics -events).
+	spanID atomic.Int64
 }
 
 // NewRecorder binds a registry and a sink. Either may be nil: a recorder
@@ -68,36 +73,47 @@ func (r *Recorder) EmitEvent(e Event) {
 	r.sink.Emit(e)
 }
 
-// Span is an in-flight duration measurement. End emits the complete
-// event; the zero Span (from a nil recorder) is a no-op.
+// Span is an in-flight duration measurement. StartSpan emits the
+// PhaseBegin event immediately — a live /events stream shows the span
+// while it is open — and End emits the matching PhaseEnd carrying the
+// duration and args. The zero Span (from a nil recorder) is a no-op.
 type Span struct {
 	r    *Recorder
 	name string
 	cat  string
 	tid  int
+	id   int64
 	t0   time.Time
 }
 
-// StartSpan opens a wall-clock span on the toolchain track. Always pair
-// with End.
+// StartSpan opens a wall-clock span on the toolchain track and emits its
+// begin event. Always pair with End.
 func (r *Recorder) StartSpan(name, cat string, tid int) Span {
 	if r == nil || r.sink == nil {
 		return Span{}
 	}
-	return Span{r: r, name: name, cat: cat, tid: tid, t0: time.Now()}
+	s := Span{r: r, name: name, cat: cat, tid: tid, id: r.spanID.Add(1), t0: time.Now()}
+	r.sink.Emit(Event{
+		Name: name, Cat: cat, Ph: PhaseBegin,
+		TS:  float64(s.t0.Sub(r.start)) / float64(time.Microsecond),
+		PID: PIDTool, TID: tid, ID: s.id,
+	})
+	return s
 }
 
-// End closes the span, attaching the args to the emitted event.
+// End closes the span, attaching the args to the emitted end event. Dur
+// repeats the begin-to-end distance so a span is self-describing even
+// when its begin event was dropped from a bounded stream.
 func (s Span) End(args map[string]any) {
 	if s.r == nil {
 		return
 	}
 	dur := time.Since(s.t0)
-	ts := float64(s.t0.Sub(s.r.start)) / float64(time.Microsecond)
 	s.r.sink.Emit(Event{
-		Name: s.name, Cat: s.cat, Ph: PhaseComplete,
-		TS: ts, Dur: float64(dur) / float64(time.Microsecond),
-		PID: PIDTool, TID: s.tid, Args: args,
+		Name: s.name, Cat: s.cat, Ph: PhaseEnd,
+		TS:  float64(s.t0.Sub(s.r.start)+dur) / float64(time.Microsecond),
+		Dur: float64(dur) / float64(time.Microsecond),
+		PID: PIDTool, TID: s.tid, ID: s.id, Args: args,
 	})
 }
 
@@ -115,18 +131,43 @@ type FileRecorder struct {
 // Either path may be empty; with both empty the recorder is nil (fully
 // disabled) and Flush is still safe to call.
 func FileOutputs(metricsPath, eventsPath string) *FileRecorder {
+	return FileOutputsWith(metricsPath, eventsPath, nil)
+}
+
+// FileOutputsWith is FileOutputs with an extra live sink fanned in — the
+// telemetry server's ring buffer rides alongside the file artifacts.
+// With a non-nil extra sink the registry always exists (a live /metrics
+// endpoint needs one even when no metrics file was requested) and every
+// event reaches both the buffer (when eventsPath is set) and the extra
+// sink. extra == nil degrades exactly to FileOutputs.
+func FileOutputsWith(metricsPath, eventsPath string, extra Sink) *FileRecorder {
 	f := &FileRecorder{metricsPath: metricsPath, eventsPath: eventsPath}
-	if metricsPath == "" && eventsPath == "" {
+	if metricsPath == "" && eventsPath == "" && extra == nil {
 		return f
 	}
 	var reg *Registry
-	if metricsPath != "" {
+	if metricsPath != "" || extra != nil {
 		reg = NewRegistry()
 	}
-	var sink Sink
+	var sinks MultiSink
 	if eventsPath != "" {
 		f.buf = NewBufferSink(0)
-		sink = f.buf
+		if reg != nil {
+			f.buf.Meter(reg)
+		}
+		sinks = append(sinks, f.buf)
+	}
+	if extra != nil {
+		sinks = append(sinks, extra)
+	}
+	var sink Sink
+	switch len(sinks) {
+	case 0:
+		// metrics-only recorder
+	case 1:
+		sink = sinks[0]
+	default:
+		sink = sinks
 	}
 	f.Recorder = NewRecorder(reg, sink)
 	return f

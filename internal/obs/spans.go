@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpanNode is one reconstructed span in a trace's span forest: a
+// begin/end pair (or a self-contained complete event) with its nested
+// children. Durations and timestamps keep the event units — wall-clock
+// microseconds on the PIDTool track, simulated cycles on PIDSim.
+type SpanNode struct {
+	Name  string
+	Cat   string
+	PID   int
+	TID   int
+	ID    int64
+	Start float64
+	Dur   float64
+	Args  map[string]any
+
+	Children []*SpanNode
+}
+
+// trackKey identifies one timeline: spans nest per (pid, tid), never
+// across tracks.
+type trackKey struct{ pid, tid int }
+
+// BuildSpanForest reconstructs the span trees of an event stream and
+// validates its structure in the same pass. The structural contract it
+// enforces is the one the Recorder guarantees on emission:
+//
+//   - every PhaseBegin has a matching PhaseEnd with the same span ID, on
+//     the same (pid, tid) track, properly nested (an inner span ends
+//     before its enclosing span);
+//   - no span or complete event has a negative duration, and no span
+//     ends before it begins;
+//   - timestamps are monotone non-decreasing per PIDTool track (each
+//     track is single-threaded wall time; PIDSim tracks are exempt
+//     because cycle timestamps restart at zero on every simulation).
+//
+// Any violation returns an error naming the offending event, so a
+// truncated, reordered or hand-edited artifact is rejected rather than
+// silently misattributed. Instant and metadata events are checked for
+// track monotonicity but do not create nodes.
+func BuildSpanForest(events []Event) ([]*SpanNode, error) {
+	var roots []*SpanNode
+	stacks := map[trackKey][]*SpanNode{}
+	lastTS := map[trackKey]float64{}
+	for i, e := range events {
+		key := trackKey{e.PID, e.TID}
+		if e.PID == PIDTool && e.Ph != PhaseMeta {
+			if prev, seen := lastTS[key]; seen && e.TS < prev {
+				return nil, fmt.Errorf("event %d (%s %q): timestamp %.3f goes backwards on track pid=%d tid=%d (previous %.3f)",
+					i+1, e.Ph, e.Name, e.TS, e.PID, e.TID, prev)
+			}
+			lastTS[key] = e.TS
+		}
+		switch e.Ph {
+		case PhaseBegin:
+			n := &SpanNode{Name: e.Name, Cat: e.Cat, PID: e.PID, TID: e.TID, ID: e.ID, Start: e.TS, Dur: -1}
+			stack := stacks[key]
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				top.Children = append(top.Children, n)
+			} else {
+				roots = append(roots, n)
+			}
+			stacks[key] = append(stack, n)
+		case PhaseEnd:
+			stack := stacks[key]
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("event %d: span end %q (id %d) without a begin on track pid=%d tid=%d",
+					i+1, e.Name, e.ID, e.PID, e.TID)
+			}
+			top := stack[len(stack)-1]
+			if top.ID != e.ID || top.Name != e.Name {
+				return nil, fmt.Errorf("event %d: span end %q (id %d) does not match open span %q (id %d) on track pid=%d tid=%d",
+					i+1, e.Name, e.ID, top.Name, top.ID, e.PID, e.TID)
+			}
+			if e.Dur < 0 {
+				return nil, fmt.Errorf("event %d: span %q has negative duration %.3f", i+1, e.Name, e.Dur)
+			}
+			if e.TS < top.Start {
+				return nil, fmt.Errorf("event %d: span %q ends at %.3f before its begin at %.3f", i+1, e.Name, e.TS, top.Start)
+			}
+			top.Dur = e.Dur
+			top.Args = e.Args
+			stacks[key] = stack[:len(stack)-1]
+		case PhaseComplete:
+			if e.Dur < 0 {
+				return nil, fmt.Errorf("event %d: complete event %q has negative duration %.3f", i+1, e.Name, e.Dur)
+			}
+			n := &SpanNode{Name: e.Name, Cat: e.Cat, PID: e.PID, TID: e.TID, ID: e.ID, Start: e.TS, Dur: e.Dur, Args: e.Args}
+			stack := stacks[key]
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				top.Children = append(top.Children, n)
+			} else {
+				roots = append(roots, n)
+			}
+		case PhaseInstant, PhaseMeta:
+			// Markers and metadata don't form spans.
+		default:
+			return nil, fmt.Errorf("event %d: unknown phase %q (name %q)", i+1, e.Ph, e.Name)
+		}
+	}
+	var open []*SpanNode
+	for _, stack := range stacks {
+		open = append(open, stack...)
+	}
+	// Deterministic error choice: span IDs are process-unique and
+	// monotone, so the lowest-ID unmatched begin is the earliest one.
+	sort.Slice(open, func(i, j int) bool { return open[i].ID < open[j].ID })
+	if len(open) > 0 {
+		top := open[0]
+		return nil, fmt.Errorf("span begin %q (id %d) on track pid=%d tid=%d has no matching end",
+			top.Name, top.ID, top.PID, top.TID)
+	}
+	return roots, nil
+}

@@ -95,6 +95,8 @@ func (p *Pipeline) checkBackends(g *cdfg.Graph, pair BackendPair, cell Cell, see
 	r := BackendDiffResult{Cell: cell, RefWords: -1, SubWords: -1}
 	opt := cell.Mode.Options()
 	opt.Seed = seed
+	opt.Obs = p.Obs
+	opt.ObsTID = p.ObsTID
 	opt.ExactNodeBudget = p.ExactNodeBudget
 	grid := arch.MustGrid(cell.Config)
 	refM, refErr := pair.Ref.Map(context.Background(), g, grid, opt)
@@ -305,6 +307,10 @@ func (p *Pipeline) BackendSweep(pair BackendPair, opt SweepOptions) *BackendSwee
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Per-worker pipeline copy: mapper spans track the worker that
+			// ran them (see Pipeline.ObsTID).
+			wp := *p
+			wp.ObsTID = w
 			for i := range idx {
 				seed := opt.Seed + int64(i)
 				sp := p.Obs.StartSpan("oracle.backend_graph", "oracle", w)
@@ -314,7 +320,7 @@ func (p *Pipeline) BackendSweep(pair BackendPair, opt SweepOptions) *BackendSwee
 					Seed:  seed,
 					Graph: g,
 					Mem:   mem,
-					Cells: p.CheckBackendsAll(g, mem, pair, cells, seed),
+					Cells: wp.CheckBackendsAll(g, mem, pair, cells, seed),
 				}
 				bugs := len(results[i].Bugs())
 				sp.End(map[string]any{"index": i, "seed": seed, "bugs": bugs})

@@ -30,17 +30,19 @@ func TestSweepObs(t *testing.T) {
 		}
 	}
 
+	// Spans emit a begin and an end event; the end carries the args and
+	// the duration, so it is the one counted here.
 	var sweeps, graphs, progress int
 	for _, e := range sink.Events() {
-		switch e.Name {
-		case "oracle.sweep":
+		switch {
+		case e.Name == "oracle.sweep" && e.Ph == obs.PhaseEnd:
 			sweeps++
 			if e.Args["checked"] != rep.Checked {
 				t.Errorf("sweep span args %+v do not carry checked=%d", e.Args, rep.Checked)
 			}
-		case "oracle.graph":
+		case e.Name == "oracle.graph" && e.Ph == obs.PhaseEnd:
 			graphs++
-		case "oracle.sweep.progress":
+		case e.Name == "oracle.sweep.progress":
 			progress++
 		}
 	}

@@ -215,6 +215,12 @@ type Pipeline struct {
 	// outcome-class counters, sweep progress events and shrink-step events.
 	// Instrumentation never influences which outcome a check produces.
 	Obs *obs.Recorder
+	// ObsTID is the trace track the pipeline's mapper spans land on
+	// (core.Options.ObsTID). The sweeps run each worker on a pipeline
+	// copy with ObsTID set to the worker index, so a trace of a parallel
+	// sweep shows per-worker occupancy instead of one interleaved track.
+	// Purely observational: it never affects outcomes.
+	ObsTID int
 	// MutateMapping, when non-nil, corrupts the mapping between the
 	// memory-fit check and assembly — upstream of the static verifier, so
 	// structural faults it plants surface as Illegal.
@@ -284,6 +290,8 @@ func (p *Pipeline) check(g *cdfg.Graph, mem cdfg.Memory, cell Cell, seed int64) 
 	r := CellResult{Cell: cell}
 	opt := cell.Mode.Options()
 	opt.Seed = seed
+	opt.Obs = p.Obs
+	opt.ObsTID = p.ObsTID
 	m, err := core.Map(g, arch.MustGrid(cell.Config), opt)
 	if err != nil {
 		r.Outcome, r.Err = NoMapping, err

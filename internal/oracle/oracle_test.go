@@ -17,6 +17,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func TestModesAndCells(t *testing.T) {
@@ -84,9 +85,24 @@ func TestSweepClean(t *testing.T) {
 	var p Pipeline
 	// ORACLE_METRICS names a JSONL file the sweep's counters are written
 	// to; CI's oracle smoke step uses it to validate the metrics artifact.
+	// ORACLE_SERVE additionally exposes the sweep live on that address
+	// (telemetry server: /metrics, /healthz, /events) while it runs, so a
+	// long sweep is observable from outside the test process.
 	var fr *obs.FileRecorder
-	if path := os.Getenv("ORACLE_METRICS"); path != "" {
-		fr = obs.FileOutputs(path, "")
+	metricsPath := os.Getenv("ORACLE_METRICS")
+	if addr := os.Getenv("ORACLE_SERVE"); addr != "" {
+		var srv *telemetry.Server
+		var err error
+		fr, srv, err = telemetry.ServeArtifacts(addr, metricsPath, "")
+		if err != nil {
+			t.Fatalf("ORACLE_SERVE: %v", err)
+		}
+		defer srv.Close()
+		srv.SetReady(true)
+		t.Logf("telemetry: serving on http://%s", srv.Addr())
+		p.Obs = fr.Recorder
+	} else if metricsPath != "" {
+		fr = obs.FileOutputs(metricsPath, "")
 		p.Obs = fr.Recorder
 	}
 	rep := p.Sweep(SweepOptions{N: n, Seed: 424200})

@@ -128,6 +128,10 @@ func (p *Pipeline) Sweep(opt SweepOptions) *SweepReport {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Each worker checks through a pipeline copy whose mapper spans
+			// land on its own trace track; results are unaffected.
+			wp := *p
+			wp.ObsTID = w
 			for i := range idx {
 				seed := opt.Seed + int64(i)
 				sp := p.Obs.StartSpan("oracle.graph", "oracle", w)
@@ -137,7 +141,7 @@ func (p *Pipeline) Sweep(opt SweepOptions) *SweepReport {
 					Seed:  seed,
 					Graph: g,
 					Mem:   mem,
-					Cells: p.CheckAll(g, mem, cells, seed),
+					Cells: wp.CheckAll(g, mem, cells, seed),
 				}
 				bugs := len(results[i].Bugs())
 				sp.End(map[string]any{"index": i, "seed": seed, "bugs": bugs})

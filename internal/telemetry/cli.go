@@ -1,0 +1,23 @@
+package telemetry
+
+import "repro/internal/obs"
+
+// ServeArtifacts is the standard -serve wiring shared by cgrabench,
+// cgrasim and the oracle sweep hook: it builds an event ring, fans it
+// into the -metrics/-events file recorder (obs.FileOutputsWith), meters
+// subscriber loss into the recorder's registry, and starts a Server
+// over both. Either file path may be empty; the registry always exists
+// because the live /metrics endpoint needs one. The returned recorder
+// replaces the plain obs.FileOutputs recorder in the CLI; the caller
+// still owns Flush (artifacts) and Close (server), and flips readiness
+// with SetReady once its setup is done.
+func ServeArtifacts(addr, metricsPath, eventsPath string, checks ...Check) (*obs.FileRecorder, *Server, error) {
+	ring := NewRingSink(0)
+	fr := obs.FileOutputsWith(metricsPath, eventsPath, ring)
+	ring.Meter(fr.Registry())
+	srv, err := Start(Config{Addr: addr, Registry: fr.Registry(), Events: ring, Checks: checks})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fr, srv, nil
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// WritePrometheus renders a metric snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges map directly;
+// histograms are exposed as summaries carrying the registry's
+// power-of-two-bucket quantile upper bounds (p50/p95/p99) plus _sum and
+// _count. Metric names are sanitized to the Prometheus charset; if two
+// registry names collapse onto one sanitized name, the later (by
+// snapshot order, i.e. registry-name order) is skipped — exposing two
+// TYPE lines for one name would make the page unparseable.
+func WritePrometheus(w io.Writer, metrics []obs.MetricValue) error {
+	seen := map[string]bool{}
+	for _, m := range metrics {
+		name := SanitizeMetricName(m.Name)
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		var err error
+		switch m.Kind {
+		case obs.KindCounter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.Value)
+		case obs.KindGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, m.Value)
+		case obs.KindHistogram:
+			_, err = fmt.Fprintf(w,
+				"# TYPE %s summary\n%s{quantile=\"0.5\"} %d\n%s{quantile=\"0.95\"} %d\n%s{quantile=\"0.99\"} %d\n%s_sum %d\n%s_count %d\n",
+				name, name, m.P50, name, m.P95, name, m.P99, name, m.Value, name, m.Count)
+		default:
+			_, err = fmt.Fprintf(w, "# TYPE %s untyped\n%s %d\n", name, name, m.Value)
+		}
+		if err != nil {
+			return fmt.Errorf("telemetry: writing metrics: %w", err)
+		}
+	}
+	return nil
+}
+
+// SanitizeMetricName maps a registry metric name onto the Prometheus
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*: the registry's dot separators
+// (core.map.calls) become underscores and any other illegal byte maps
+// to '_', with a leading underscore prepended when the name would start
+// with a digit.
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		legal := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !legal {
+			if c >= '0' && c <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteByte(c)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+// Package telemetry is the embeddable live-observability layer over
+// internal/obs: an HTTP server exposing the recorder's registry as
+// Prometheus text (/metrics), pluggable health checks (/healthz,
+// /readyz), a live JSONL event feed (/events) backed by a bounded ring,
+// and the runtime profiler (/debug/pprof). The CLIs mount it behind a
+// -serve flag so long mapping sweeps are observable while they execute;
+// the planned cgrad daemon mounts the same server as its health surface.
+//
+// The package never blocks the instrumented computation: the ring sink's
+// Emit is lock-bounded and constant-time, and slow /events readers drop
+// events (counted, never silently) instead of applying backpressure to
+// the recorder.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// DefaultRingCap bounds a RingSink when no explicit capacity is given:
+// enough backlog for a meaningful /events replay without letting the
+// live buffer grow with run length.
+const DefaultRingCap = 4096
+
+// RingSink is an obs.Sink that keeps the most recent events in a bounded
+// ring and fans live events out to subscribers. Old events are
+// overwritten (the ring is a tail window, unlike obs.BufferSink which
+// keeps the head); subscribers with full channels lose events rather
+// than stalling Emit. Both loss modes are counted.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []obs.Event
+	next    int // insertion index into buf
+	full    bool
+	subs    []*Subscription // fan-out in subscription order
+	dropCtr *obs.Counter
+	dropped atomic.Int64
+}
+
+// Subscription is one /events reader's handle: a buffered channel of
+// live events plus its private drop counter.
+type Subscription struct {
+	// C delivers live events emitted after the subscription was taken.
+	// It is closed by Unsubscribe.
+	C       chan obs.Event
+	dropped atomic.Int64
+}
+
+// Dropped returns how many events this subscriber lost to a full
+// channel.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// NewRingSink returns a ring keeping the last cap events
+// (DefaultRingCap when cap <= 0).
+func NewRingSink(cap int) *RingSink {
+	if cap <= 0 {
+		cap = DefaultRingCap
+	}
+	return &RingSink{buf: make([]obs.Event, cap)}
+}
+
+// Meter surfaces subscriber-side event loss as the registry counter
+// telemetry.events.dropped, so a slow /events reader is visible on the
+// next /metrics scrape.
+func (r *RingSink) Meter(reg *obs.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dropCtr = reg.Counter("telemetry.events.dropped")
+}
+
+// Emit stores the event in the ring and offers it to every subscriber
+// without blocking: a subscriber whose channel is full loses the event
+// and its drop counter advances. Emit never waits on a reader.
+func (r *RingSink) Emit(e obs.Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	for _, sub := range r.subs {
+		select {
+		case sub.C <- e:
+		default:
+			sub.dropped.Add(1)
+			r.dropped.Add(1)
+			r.dropCtr.Inc()
+		}
+	}
+}
+
+// Snapshot returns the ring's current contents, oldest first.
+func (r *RingSink) Snapshot() []obs.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+func (r *RingSink) snapshotLocked() []obs.Event {
+	if !r.full {
+		return append([]obs.Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]obs.Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped returns the total events lost across all subscribers.
+func (r *RingSink) Dropped() int64 { return r.dropped.Load() }
+
+// Subscribe atomically snapshots the ring backlog and registers a live
+// subscription with the given channel buffer (DefaultSubBuffer when
+// <= 0): no event falls between the backlog and the channel, and none is
+// delivered twice. Callers must drain Subscription.C promptly or accept
+// drops, and must Unsubscribe when done.
+func (r *RingSink) Subscribe(buffer int) ([]obs.Event, *Subscription) {
+	if buffer <= 0 {
+		buffer = DefaultSubBuffer
+	}
+	sub := &Subscription{C: make(chan obs.Event, buffer)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	backlog := r.snapshotLocked()
+	r.subs = append(r.subs, sub)
+	return backlog, sub
+}
+
+// DefaultSubBuffer is the per-subscriber channel depth when Subscribe is
+// called without one.
+const DefaultSubBuffer = 256
+
+// Unsubscribe removes the subscription and closes its channel. Safe to
+// call once per subscription; events emitted after it returns are not
+// delivered.
+func (r *RingSink) Unsubscribe(sub *Subscription) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, s := range r.subs {
+		if s == sub {
+			r.subs = append(r.subs[:i], r.subs[i+1:]...)
+			close(sub.C)
+			return
+		}
+	}
+}

@@ -75,6 +75,71 @@ fi
 echo "  $cold_sha (cold == warm)"
 rm -rf "$cache_dir" "$cold_out" "$warm_out"
 
+# Live telemetry smoke: run a real (small) evaluation with -serve and
+# scrape it over HTTP while it lingers. The scrape must be well-formed
+# Prometheus text with at least one sample (cgrametrics -scrape
+# validates line by line) and /healthz must answer ok. The run's
+# -events artifact then goes through the span-structure gate
+# (cgrametrics -events) and the cgratrace analyzer, so the whole
+# observability pipeline — recorder, ring, server, offline analysis —
+# is exercised against one live process.
+echo "== live telemetry smoke (cgrabench -serve, scrape + trace analysis)"
+tele_dir="$(mktemp -d)"
+tele_pid=""
+trap 'if [ -n "$tele_pid" ]; then kill "$tele_pid" 2>/dev/null || true; fi; rm -rf "$tele_dir"' EXIT
+go build -o "$tele_dir/cgrabench" ./cmd/cgrabench
+"$tele_dir/cgrabench" -fig 2 -serve 127.0.0.1:0 -linger 120s \
+    -metrics "$tele_dir/metrics.json" -events "$tele_dir/events.trace" \
+    > "$tele_dir/stdout" 2> "$tele_dir/stderr" &
+tele_pid=$!
+tele_addr=""
+for _ in $(seq 1 100); do
+    tele_addr="$(sed -n 's#^telemetry: serving on http://##p' "$tele_dir/stderr" | head -n 1)"
+    [ -n "$tele_addr" ] && break
+    sleep 0.2
+done
+if [ -z "$tele_addr" ]; then
+    echo "telemetry smoke: server address never announced on stderr" >&2
+    cat "$tele_dir/stderr" >&2
+    exit 1
+fi
+# Wait for the run itself to finish (the linger marker follows the
+# artifact flush), so the scrape sees the final counters.
+for _ in $(seq 1 600); do
+    grep -q 'telemetry: lingering' "$tele_dir/stderr" && break
+    sleep 0.2
+done
+if ! grep -q 'telemetry: lingering' "$tele_dir/stderr"; then
+    echo "telemetry smoke: run did not reach the linger phase" >&2
+    cat "$tele_dir/stderr" >&2
+    exit 1
+fi
+go run ./cmd/cgrametrics -scrape "http://$tele_addr/metrics" > "$tele_dir/scrape.txt"
+grep -c '^core_map' "$tele_dir/scrape.txt" | sed 's/^/  core_map samples: /'
+go run ./cmd/cgrametrics -get "http://$tele_addr/healthz" | sed 's/^/  healthz: /'
+kill "$tele_pid" 2>/dev/null || true
+tele_pid=""
+echo "== telemetry artifacts (cgrametrics -events + cgratrace)"
+go run ./cmd/cgrametrics "$tele_dir/metrics.json" > /dev/null
+go run ./cmd/cgrametrics -events "$tele_dir/events.trace" | sed 's/^/  /'
+go run ./cmd/cgratrace "$tele_dir/events.trace" > "$tele_dir/report.txt"
+grep -q 'phase attribution' "$tele_dir/report.txt" || {
+    echo "telemetry smoke: cgratrace report misses the attribution table" >&2
+    exit 1
+}
+rm -rf "$tele_dir"
+trap - EXIT
+
+# cgratrace golden gate: the analyzer's report and -diff output on the
+# checked-in fixture traces are byte-pinned (the package tests pin the
+# same bytes; this gate proves the installed CLI agrees from a cold
+# start).
+echo "== cgratrace golden gate (testdata fixtures)"
+go run ./cmd/cgratrace cmd/cgratrace/testdata/trace_old.jsonl \
+    | diff - cmd/cgratrace/testdata/golden_report.txt
+go run ./cmd/cgratrace -diff cmd/cgratrace/testdata/trace_old.jsonl cmd/cgratrace/testdata/trace_new.jsonl \
+    | diff - cmd/cgratrace/testdata/golden_diff.txt
+
 # Portfolio-pruning golden gate: incumbent sharing must be invisible in
 # the output. The invariance test pins the winning seed and bitstream
 # bytes with pruning on vs off at several worker counts, and the golden
